@@ -1,0 +1,291 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B benchmark per artifact, at the quick scale
+// (~16x smaller than the paper, same cache-to-file-size ratios and thus
+// the same curve shapes). The reported metrics are the interesting
+// scientific quantities, attached via b.ReportMetric:
+//
+//   - speedup-peak / speedup-last: the Figure 8/12 improvement ratios
+//   - fault-reduction: Figure 9's headline
+//   - time-reduction-pct: Figures 14/15
+//
+// Run with: go test -bench=. -benchmem
+//
+// cmd/sledsbench regenerates the same artifacts at full paper scale and
+// prints the complete tables; EXPERIMENTS.md records those numbers.
+package sleds_test
+
+import (
+	"testing"
+
+	"sleds/internal/experiments"
+)
+
+// benchConfig is the quick-scale configuration with fewer repetitions, so
+// one benchmark iteration is one full experiment regeneration.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Runs = 3
+	cfg.CDFRuns = 8
+	return cfg
+}
+
+func maxMean(s experiments.Series) float64 {
+	var m float64
+	for _, p := range s.Points {
+		if p.Mean > m {
+			m = p.Mean
+		}
+	}
+	return m
+}
+
+func lastReduction(f experiments.Figure) float64 {
+	with, without := f.Series[0], f.Series[1]
+	last := len(with.Points) - 1
+	return 100 * (1 - with.Points[last].Mean/without.Points[last].Mean)
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Fig3Trace(); out == "" {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkFig7And8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, f8, err := experiments.Fig7And8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(maxMean(f8.Series[0]), "speedup-peak")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f9, err := experiments.Fig9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without := f9.Series[0], f9.Series[1]
+		last := len(with.Points) - 1
+		b.ReportMetric(100*(1-with.Points[last].Mean/without.Points[last].Mean), "fault-reduction-pct")
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f10, err := experiments.Fig10(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastReduction(f10), "time-reduction-pct")
+	}
+}
+
+func BenchmarkFig11And12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, f12, err := experiments.Fig11And12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(maxMean(f12.Series[0]), "speedup-peak")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f13, err := experiments.Fig13(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Median gap between the two quantile curves.
+		mid := len(f13.Series[0].Points) / 2
+		b.ReportMetric(f13.Series[1].Points[mid].Mean-f13.Series[0].Points[mid].Mean, "median-gap-sec")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f14, err := experiments.Fig14(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastReduction(f14), "time-reduction-pct")
+	}
+}
+
+func BenchmarkFig15x4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig15Factor(benchConfig(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastReduction(f), "time-reduction-pct")
+	}
+}
+
+func BenchmarkFig15x16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig15Factor(benchConfig(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastReduction(f), "time-reduction-pct")
+	}
+}
+
+func BenchmarkEFind(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EFind(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEGmc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EGmc(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEHSM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.EHSM(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup, "hsm-speedup")
+	}
+}
+
+func BenchmarkERemote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ERemote(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup, "remote-speedup")
+	}
+}
+
+func BenchmarkEHints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.EHints(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := f.Series[0].Points
+		b.ReportMetric(pts[0].Mean/pts[3].Mean, "combined-speedup")
+	}
+}
+
+func BenchmarkETreeGrep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.ETreeGrep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		times := f.Series[0].Points
+		b.ReportMetric(times[0].Mean/times[2].Mean, "sleds-vs-nameorder")
+	}
+}
+
+func BenchmarkEAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Sizes = cfg.Sizes[:4]
+		f, err := experiments.EAccuracy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				if e := p.Mean; e > worst || -e > worst {
+					if e < 0 {
+						e = -e
+					}
+					worst = e
+				}
+			}
+		}
+		b.ReportMetric(worst, "worst-estimate-error-pct")
+	}
+}
+
+func BenchmarkAblationMmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMmap(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationZones(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationZones(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPolicy(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPickOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPickOrder(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRefresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRefresh(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationReadahead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReadahead(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command fimhisto runs the ported LHEASOFT fimhisto on a synthetic FITS
+// image: it copies the image, appends a histogram of its pixel values,
+// and reports elapsed virtual time and page faults with and without
+// SLEDs — the paper's §5.3 experiment at one point.
+//
+//	fimhisto -width 1024 -height 24576 -bins 64   # ~48 MB image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sleds"
+	"sleds/internal/apps/fitsapp"
+	"sleds/internal/simclock"
+)
+
+func main() {
+	width := flag.Int("width", 1024, "image width in pixels")
+	height := flag.Int("height", 24576, "image height in pixels")
+	bins := flag.Int("bins", 64, "histogram bins")
+	cacheMB := flag.Float64("cache", 44, "file cache size in MB")
+	flag.Parse()
+
+	sys, err := sleds.NewSystem(sleds.Config{
+		CacheBytes:  int64(*cacheMB * (1 << 20)),
+		LHEAProfile: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.CreateFITSImage("/data/img.fits", sleds.OnDisk, 7, *width, *height); err != nil {
+		fatal(err)
+	}
+	n, _ := sys.Stat("/data/img.fits")
+	fmt.Printf("fimhisto on %dx%d image (%.4g MB), %d bins, %.4g MB cache\n\n",
+		*width, *height, float64(n.Size())/(1<<20), *bins, *cacheMB)
+
+	for i, useSLEDs := range []bool{false, true} {
+		// Warm pass.
+		f, _ := sys.Open("/data/img.fits")
+		io.Copy(io.Discard, f)
+		f.Close()
+
+		out := fmt.Sprintf("/data/out%d.fits", i)
+		sys.ResetStats()
+		start := sys.Now()
+		h, err := fitsapp.Fimhisto(sys.Env(useSLEDs), "/data/img.fits", out, *bins, sys.Device(sleds.OnDisk))
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := float64(sys.Now()-start) / float64(simclock.Second)
+		mode := "without SLEDs"
+		if useSLEDs {
+			mode = "with SLEDs   "
+		}
+		fmt.Printf("%s  %8.3fs elapsed  %7d faults   (range [%d,%d], %d pixels binned)\n",
+			mode, elapsed, sys.Stats().Faults, h.Min, h.Max, h.Total())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fimhisto:", err)
+	os.Exit(1)
+}

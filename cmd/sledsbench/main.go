@@ -1,0 +1,251 @@
+// Command sledsbench regenerates the paper's evaluation: every table
+// (2, 3, 4) and figure (3, 7-15) plus the extension experiments (find
+// -latency pruning, the gmc panel, and the HSM prediction).
+//
+// Usage:
+//
+//	sledsbench                  # everything, paper-scale configuration
+//	sledsbench -scale quick     # ~16x smaller, same shapes, seconds to run
+//	sledsbench -exp f7,f8       # selected experiments only
+//	sledsbench -runs 6          # override runs per point
+//
+// Output is the text rendering of each table/figure; EXPERIMENTS.md is
+// produced from this output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sleds/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "configuration scale: paper | quick")
+	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,ablations")
+	runs := flag.Int("runs", 0, "override measured runs per point (0 = configuration default)")
+	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "paper":
+		cfg = experiments.PaperConfig()
+	case "quick":
+		cfg = experiments.QuickConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "sledsbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	selected := func(id string) bool { return all || want[id] }
+
+	writeCSV := func(f experiments.Figure) {
+		if *csvDir == "" {
+			return
+		}
+		name := strings.Map(func(r rune) rune {
+			switch r {
+			case '(', ')':
+				return -1
+			}
+			return r
+		}, f.ID)
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("# SLEDs evaluation, scale=%s (cache %.3g MB, sizes %.3g..%.3g MB, %d runs/point)\n\n",
+		*scale, float64(cfg.CacheBytes())/float64(experiments.MB),
+		float64(cfg.Sizes[0])/float64(experiments.MB),
+		float64(cfg.Sizes[len(cfg.Sizes)-1])/float64(experiments.MB), cfg.Runs)
+
+	run := func(id string, fn func() (string, error)) {
+		if !selected(id) {
+			return
+		}
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s regenerated in %.1fs host time)\n\n", id, time.Since(start).Seconds())
+	}
+
+	run("t2", func() (string, error) {
+		t, err := experiments.Table2(cfg)
+		return t.Render(), err
+	})
+	run("t3", func() (string, error) {
+		t, err := experiments.Table3(cfg)
+		return t.Render(), err
+	})
+	run("t4", func() (string, error) {
+		t, err := experiments.Table4()
+		return t.Render(), err
+	})
+	run("f3", func() (string, error) { return experiments.Fig3Trace(), nil })
+
+	// Figures 7 and 8 share one sweep; same for 11 and 12.
+	if selected("f7") || selected("f8") {
+		start := time.Now()
+		f7, f8, err := experiments.Fig7And8(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: f7/f8: %v\n", err)
+			os.Exit(1)
+		}
+		if selected("f7") {
+			writeCSV(f7)
+			fmt.Println(f7.Render())
+		}
+		if selected("f8") {
+			writeCSV(f8)
+			fmt.Println(f8.Render())
+		}
+		fmt.Printf("(f7+f8 regenerated in %.1fs host time)\n\n", time.Since(start).Seconds())
+	}
+	run("f9", func() (string, error) {
+		f, err := experiments.Fig9(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("f10", func() (string, error) {
+		f, err := experiments.Fig10(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	if selected("f11") || selected("f12") {
+		start := time.Now()
+		f11, f12, err := experiments.Fig11And12(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: f11/f12: %v\n", err)
+			os.Exit(1)
+		}
+		if selected("f11") {
+			writeCSV(f11)
+			fmt.Println(f11.Render())
+		}
+		if selected("f12") {
+			writeCSV(f12)
+			fmt.Println(f12.Render())
+		}
+		fmt.Printf("(f11+f12 regenerated in %.1fs host time)\n\n", time.Since(start).Seconds())
+	}
+	run("f13", func() (string, error) {
+		f, err := experiments.Fig13(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("f14", func() (string, error) {
+		f, err := experiments.Fig14(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("f15", func() (string, error) {
+		f, err := experiments.Fig15Factor(cfg, 4)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("f15x16", func() (string, error) {
+		f, err := experiments.Fig15Factor(cfg, 16)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("efind", func() (string, error) {
+		r, err := experiments.EFind(cfg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "== efind: find -latency pruning (threshold %s) ==\n", r.Threshold)
+		b.WriteString("cheap (worth reading now):\n")
+		for _, f := range r.Cheap {
+			fmt.Fprintf(&b, "  %-28s %10.4g s\n", f.Path, f.Seconds)
+		}
+		b.WriteString("expensive (pruned):\n")
+		for _, f := range r.Expensive {
+			fmt.Fprintf(&b, "  %-28s %10.4g s\n", f.Path, f.Seconds)
+		}
+		return b.String(), nil
+	})
+	run("egmc", func() (string, error) {
+		r, err := experiments.EGmc(cfg)
+		if err != nil {
+			return "", err
+		}
+		return "== egmc: gmc file-properties SLEDs panel (half-cached file) ==\n" + r.Render(), nil
+	})
+	run("ehsm", func() (string, error) {
+		r, err := experiments.EHSM(cfg)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("== ehsm: grep -q on HSM (staged tail) ==\nwithout SLEDs: %8.4g s\nwith SLEDs:    %8.4g s\nspeedup:       %8.4g x\n",
+			r.WithoutSeconds, r.WithSeconds, r.Speedup), nil
+	})
+	run("eremote", func() (string, error) {
+		r, err := experiments.ERemote(cfg)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("== eremote: grep -q on a remote file, server-cached tail ==\nwithout SLEDs: %8.4g s\nwith SLEDs:    %8.4g s\nspeedup:       %8.4g x\n",
+			r.WithoutSeconds, r.WithSeconds, r.Speedup), nil
+	})
+	run("ehints", func() (string, error) {
+		f, err := experiments.EHints(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("etreegrep", func() (string, error) {
+		f, err := experiments.ETreeGrep(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("eaccuracy", func() (string, error) {
+		f, err := experiments.EAccuracy(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	for _, abl := range []struct {
+		id string
+		fn func(experiments.Config) (experiments.Figure, error)
+	}{
+		{"ablation-policy", experiments.AblationPolicy},
+		{"ablation-pickorder", experiments.AblationPickOrder},
+		{"ablation-refresh", experiments.AblationRefresh},
+		{"ablation-readahead", experiments.AblationReadahead},
+		{"ablation-mmap", experiments.AblationMmap},
+		{"ablation-zones", experiments.AblationZones},
+	} {
+		if !selected(abl.id) && !want["ablations"] {
+			continue
+		}
+		fn := abl.fn
+		start := time.Now()
+		f, err := fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: %s: %v\n", abl.id, err)
+			os.Exit(1)
+		}
+		writeCSV(f)
+		fmt.Println(f.Render())
+		fmt.Printf("(%s regenerated in %.1fs host time)\n\n", abl.id, time.Since(start).Seconds())
+	}
+}

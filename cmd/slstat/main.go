@@ -1,0 +1,61 @@
+// Command slstat prints the gmc file-properties SLEDs panel for a staged
+// scenario: a file whose tail has just been read, so the panel shows the
+// cheap cached section, the expensive device section, and the estimated
+// total delivery time — the report-latency use of SLEDs.
+//
+//	slstat -fs nfs -size 24 -warm 0.5 (panel for a half-warmed file)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sleds"
+	"sleds/internal/apps/gmcapp"
+)
+
+func main() {
+	fsName := flag.String("fs", "ext2", "file system: ext2 | cdrom | nfs | tape")
+	sizeMB := flag.Float64("size", 24, "file size in MB")
+	warm := flag.Float64("warm", 0.5, "fraction of the file tail to warm into cache")
+	flag.Parse()
+
+	sys, err := sleds.NewSystem(sleds.Config{CacheBytes: 44 << 20})
+	if err != nil {
+		fatal(err)
+	}
+	dev := sleds.OnDisk
+	switch *fsName {
+	case "ext2":
+	case "cdrom":
+		dev = sleds.OnCDROM
+	case "nfs":
+		dev = sleds.OnNFS
+	case "tape":
+		dev = sleds.OnTape
+	default:
+		fatal(fmt.Errorf("unknown file system %q", *fsName))
+	}
+	size := int64(*sizeMB * (1 << 20))
+	if err := sys.CreateTextFile("/data/testfile", dev, 42, size); err != nil {
+		fatal(err)
+	}
+	if *warm > 0 {
+		f, _ := sys.Open("/data/testfile")
+		n := int64(*warm * float64(size))
+		buf := make([]byte, n)
+		f.ReadAt(buf, size-n)
+		f.Close()
+	}
+	r, err := gmcapp.Properties(sys.Env(true), "/data/testfile")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(r.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+package sleds_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+
+	"sleds"
+)
+
+// ExampleSystem_SLEDs shows the FSLEDS_GET query: after one linear pass
+// over a file three times the cache size, the kernel reports which
+// sections are cheap (cached) and which still cost a disk access.
+func ExampleSystem_SLEDs() {
+	sys, err := sleds.NewSystem(sleds.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CreateTextFile("/data/f", sleds.OnDisk, 42, 3<<20); err != nil {
+		log.Fatal(err)
+	}
+	f, _ := sys.Open("/data/f")
+	defer f.Close()
+	io.Copy(io.Discard, f) // warm pass: the final 1 MiB stays cached
+
+	v, err := sys.SLEDs("/data/f")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range v {
+		kind := "on disk"
+		if s.Latency < 1e-3 {
+			kind = "cached"
+		}
+		fmt.Printf("[%7d,+%7d) %s\n", s.Offset, s.Length, kind)
+	}
+	// Output:
+	// [      0,+2097152) on disk
+	// [2097152,+1048576) cached
+}
+
+// ExampleSystem_NewPicker shows the pick library: the advised read order
+// visits the cached tail before the evicted head, so the second pass
+// fetches only what LRU already threw away.
+func ExampleSystem_NewPicker() {
+	sys, err := sleds.NewSystem(sleds.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CreateTextFile("/data/f", sleds.OnDisk, 42, 2<<20); err != nil {
+		log.Fatal(err)
+	}
+	f, _ := sys.Open("/data/f")
+	defer f.Close()
+	io.Copy(io.Discard, f)
+
+	p, err := sys.NewPicker(f, sleds.PickOptions{BufSize: 512 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Finish()
+	for {
+		off, n, err := p.NextRead()
+		if errors.Is(err, sleds.ErrPickFinished) {
+			break
+		}
+		fmt.Printf("read [%7d,+%d)\n", off, n)
+		buf := make([]byte, n)
+		f.ReadAt(buf, off)
+	}
+	// Output:
+	// read [1048576,+524288)
+	// read [1572864,+524288)
+	// read [      0,+524288)
+	// read [ 524288,+524288)
+}
+
+// ExampleSystem_TotalDeliveryTime shows the reporting use: the estimate
+// collapses once the file is cached, before any retrieval is attempted.
+func ExampleSystem_TotalDeliveryTime() {
+	sys, err := sleds.NewSystem(sleds.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CreateTextFile("/data/f", sleds.OnNFS, 7, 2<<20); err != nil {
+		log.Fatal(err)
+	}
+	cold, _ := sys.TotalDeliveryTime("/data/f", sleds.PlanLinear)
+	f, _ := sys.Open("/data/f")
+	io.Copy(io.Discard, f)
+	f.Close()
+	warm, _ := sys.TotalDeliveryTime("/data/f", sleds.PlanLinear)
+	fmt.Printf("cold over NFS: %.1f s\n", cold)
+	fmt.Printf("cached under 0.1 s: %v\n", warm < 0.1)
+	// Output:
+	// cold over NFS: 2.3 s
+	// cached under 0.1 s: true
+}

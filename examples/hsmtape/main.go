@@ -1,0 +1,118 @@
+// Hsmtape: SLEDs on a hierarchical storage system — the regime the paper
+// says matters most ("in HSM systems, [latency varies] by as much as
+// eleven [orders of magnitude]"). A tape library holds archived datasets;
+// a disk stage migrates blocks on access.
+//
+// The example shows all three SLEDs uses at HSM scale:
+//
+//   - report: the gmc panel for a partially staged tape file, where the
+//     estimate spans from nanoseconds (RAM) to minutes (tape);
+//
+//   - prune: find -latency selects only the data readable without a tape
+//     mount;
+//
+//   - reorder: grep -q over a tape file with a staged tail finds a match
+//     without touching the tape robot.
+//
+//     go run ./examples/hsmtape
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sleds"
+	"sleds/internal/apps/findapp"
+	"sleds/internal/apps/gmcapp"
+	"sleds/internal/apps/grepapp"
+	"sleds/internal/core"
+	"sleds/internal/simclock"
+)
+
+func main() {
+	sys, err := sleds.NewSystem(sleds.Config{
+		CacheBytes:    8 << 20,
+		HSMStageBytes: 64 << 20, // disk migration area
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.MkdirAll("/data/archive"); err != nil {
+		log.Fatal(err)
+	}
+	const size = int64(24 << 20)
+	// Four archived datasets; a match hides in run2's tail. run0 is a
+	// small summary file that analysis scripts touch often.
+	if err := sys.CreateTextFile("/data/archive/run0-summary.dat", sleds.OnTape, 4, 4<<20); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CreateTextFile("/data/archive/run1.dat", sleds.OnTape, 1, size); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CreateTextFileWithMatches("/data/archive/run2.dat", sleds.OnTape, 2, size,
+		"xyzzy", size*3/4); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CreateTextFile("/data/archive/run3.dat", sleds.OnTape, 3, size); err != nil {
+		log.Fatal(err)
+	}
+
+	// A previous analysis staged the whole summary file and the tail
+	// half of run2 to disk.
+	f, err := sys.Open("/data/archive/run0-summary.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 4<<20)
+	f.ReadAt(buf, 0)
+	f.Close()
+	f, err = sys.Open("/data/archive/run2.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = make([]byte, size/2)
+	f.ReadAt(buf, size/2)
+	f.Close()
+	sys.DropCaches() // RAM is cold; the disk stage persists
+
+	// Report: the panel shows disk latency for the staged half and tape
+	// latency (mount + locate) for the rest.
+	rep, err := gmcapp.Properties(sys.Env(true), "/data/archive/run2.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+	fmt.Println()
+
+	// Prune: only data retrievable in under a second is worth touching
+	// interactively; everything needing the robot is skipped.
+	pred := findapp.LatencyPred{Op: findapp.OpLess, Seconds: 1, Unit: 1}
+	cheap, err := findapp.Run(sys.Env(true), "/data/archive",
+		findapp.Options{Latency: &pred, Plan: core.PlanLinear, FilesOnly: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("find /data/archive -latency -1 (no tape mounts): %d file(s)\n", len(cheap))
+	for _, r := range cheap {
+		fmt.Printf("  %-28s %8.4g s\n", r.Path, r.Seconds)
+	}
+	fmt.Println()
+
+	// Reorder: grep -q reads the staged tail first and never mounts tape.
+	for _, useSLEDs := range []bool{false, true} {
+		sys.Kernel().ResetDeviceState()
+		sys.ResetStats()
+		start := sys.Now()
+		m, err := grepapp.Run(sys.Env(useSLEDs), "/data/archive/run2.dat", "xyzzy",
+			grepapp.Options{FirstOnly: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "without SLEDs"
+		if useSLEDs {
+			mode = "with SLEDs   "
+		}
+		fmt.Printf("grep -q %s  %d match  %10.3fs elapsed\n",
+			mode, len(m), float64(sys.Now()-start)/float64(simclock.Second))
+	}
+}

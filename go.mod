@@ -1,0 +1,3 @@
+module sleds
+
+go 1.22

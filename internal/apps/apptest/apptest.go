@@ -1,0 +1,76 @@
+// Package apptest provides the shared fixture for application tests: a
+// small simulated machine with a calibrated sleds table and helpers to
+// create workload files and warm the cache.
+package apptest
+
+import (
+	"io"
+	"testing"
+
+	"sleds/internal/apps/appenv"
+	"sleds/internal/core"
+	"sleds/internal/device"
+	"sleds/internal/lmbench"
+	"sleds/internal/vfs"
+	"sleds/internal/workload"
+)
+
+// PageSize used by all app tests.
+const PageSize = 4096
+
+// Machine is a booted test machine.
+type Machine struct {
+	K     *vfs.Kernel
+	Disk  device.ID
+	CDROM device.ID
+	NFS   device.ID
+	Table *core.Table
+}
+
+// New boots a machine with the given cache size (in pages) and a
+// calibrated sleds table.
+func New(t testing.TB, cachePages int) *Machine {
+	t.Helper()
+	mem := device.NewMem(device.Table2MemConfig(0))
+	k := vfs.NewKernel(vfs.Config{PageSize: PageSize, CachePages: cachePages, MemDevice: mem})
+	k.AttachDevice(mem)
+	disk := k.AttachDevice(device.NewDisk(device.Table2DiskConfig(1)))
+	cdrom := k.AttachDevice(device.NewCDROM(device.DefaultCDROMConfig(2)))
+	nfs := k.AttachDevice(device.NewNFS(device.DefaultNFSConfig(3)))
+	if err := k.MkdirAll("/data"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := lmbench.Calibrate(k.Clock, mem, k.Devices.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Machine{K: k, Disk: disk, CDROM: cdrom, NFS: nfs, Table: tab}
+}
+
+// Env returns an application environment with the SLEDs switch set.
+func (m *Machine) Env(useSLEDs bool) *appenv.Env {
+	return &appenv.Env{K: m.K, Table: m.Table, UseSLEDs: useSLEDs}
+}
+
+// TextFile creates a pseudo-text file on the disk.
+func (m *Machine) TextFile(t testing.TB, path string, seed uint64, size int64) *workload.Content {
+	t.Helper()
+	c := workload.NewText(seed, size, PageSize)
+	if _, err := m.K.Create(path, m.Disk, c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// WarmFile reads the whole file once, leaving the usual LRU tail state.
+func (m *Machine) WarmFile(t testing.TB, path string) {
+	t.Helper()
+	f, err := m.K.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := io.Copy(io.Discard, f); err != nil {
+		t.Fatal(err)
+	}
+}

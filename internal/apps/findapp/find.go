@@ -1,0 +1,154 @@
+// Package findapp is the modified find(1) of the paper's §4.3/§5.2: it
+// walks a directory tree and selects files by name and by *estimated
+// retrieval latency*, so that expensive I/O can be pruned.
+//
+// The latency predicate follows the paper's syntax: "find -latency +n
+// looks for files with more than n seconds total retrieval time, n means
+// exactly n seconds and -n means less than n seconds. mn or Mn instead of
+// n can be used for units of milliseconds, and un or Un used for
+// microseconds."
+package findapp
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+
+	"sleds/internal/apps/appenv"
+	"sleds/internal/core"
+	"sleds/internal/simclock"
+	"sleds/internal/sledlib"
+	"sleds/internal/vfs"
+)
+
+// perFileOverhead is the modelled CPU cost of stat + the FSLEDS_GET scan
+// per file (the scan is a kernel page-table walk, not I/O).
+const perFileOverhead = 15 * simclock.Microsecond
+
+// Op compares a file's estimated delivery time against a threshold.
+type Op int
+
+// Comparison operators for the latency predicate.
+const (
+	OpLess    Op = iota // -n
+	OpExactly           // n (same unit bucket, like -atime)
+	OpMore              // +n
+)
+
+// LatencyPred is the parsed -latency predicate.
+type LatencyPred struct {
+	Op Op
+	// Seconds is the threshold.
+	Seconds float64
+	// Unit is the size of the "exactly" bucket (1s, 1ms or 1µs).
+	Unit float64
+}
+
+// ParseLatencyPredicate parses the paper's argument syntax: [+-]?[mMuU]?n.
+func ParseLatencyPredicate(s string) (LatencyPred, error) {
+	orig := s
+	p := LatencyPred{Op: OpExactly, Unit: 1}
+	if strings.HasPrefix(s, "+") {
+		p.Op = OpMore
+		s = s[1:]
+	} else if strings.HasPrefix(s, "-") {
+		p.Op = OpLess
+		s = s[1:]
+	}
+	switch {
+	case strings.HasPrefix(s, "m"), strings.HasPrefix(s, "M"):
+		p.Unit = 1e-3
+		s = s[1:]
+	case strings.HasPrefix(s, "u"), strings.HasPrefix(s, "U"):
+		p.Unit = 1e-6
+		s = s[1:]
+	}
+	n, err := strconv.ParseFloat(s, 64)
+	if err != nil || n < 0 {
+		return LatencyPred{}, fmt.Errorf("findapp: bad latency predicate %q", orig)
+	}
+	p.Seconds = n * p.Unit
+	return p, nil
+}
+
+// Matches applies the predicate to an estimated delivery time in seconds.
+func (p LatencyPred) Matches(seconds float64) bool {
+	switch p.Op {
+	case OpLess:
+		return seconds < p.Seconds
+	case OpMore:
+		return seconds > p.Seconds
+	case OpExactly:
+		// Like find -atime: same integral bucket of the unit.
+		return int64(seconds/p.Unit) == int64(p.Seconds/p.Unit)
+	default:
+		panic(fmt.Sprintf("findapp: bad op %d", p.Op))
+	}
+}
+
+// Options selects files.
+type Options struct {
+	// NamePattern, when non-empty, is a path.Match glob applied to the
+	// base name (-name).
+	NamePattern string
+	// Latency, when non-nil, applies the -latency predicate. Using it
+	// requires SLEDs support in the kernel (the point of the exercise);
+	// it works regardless of env.UseSLEDs, which only switches how other
+	// utilities read data.
+	Latency *LatencyPred
+	// Plan is the attack plan used for the delivery-time estimate.
+	Plan core.Plan
+	// FilesOnly skips directories in the output (-type f).
+	FilesOnly bool
+}
+
+// Result is one selected path with its estimate (NaN-free: files only get
+// estimates when the latency predicate ran).
+type Result struct {
+	Path    string
+	Seconds float64
+}
+
+// Run walks root and returns the selected paths in walk order.
+func Run(env *appenv.Env, root string, opts Options) ([]Result, error) {
+	if opts.NamePattern != "" {
+		// Validate the pattern once up front.
+		if _, err := path.Match(opts.NamePattern, "x"); err != nil {
+			return nil, fmt.Errorf("findapp: bad -name pattern %q: %v", opts.NamePattern, err)
+		}
+	}
+	var out []Result
+	err := env.K.Walk(root, func(p string, n *vfs.Inode) error {
+		env.ChargeCPU(perFileOverhead)
+		if opts.FilesOnly && n.IsDir() {
+			return nil
+		}
+		if opts.NamePattern != "" {
+			ok, _ := path.Match(opts.NamePattern, path.Base(p))
+			if !ok {
+				return nil
+			}
+		}
+		res := Result{Path: p}
+		if opts.Latency != nil {
+			if n.IsDir() {
+				return nil
+			}
+			sec, err := sledlib.TotalDeliveryTime(env.K, env.Table, n, opts.Plan)
+			if err != nil {
+				return err
+			}
+			if !opts.Latency.Matches(sec) {
+				return nil
+			}
+			res.Seconds = sec
+		}
+		out = append(out, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

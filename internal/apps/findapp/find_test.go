@@ -1,0 +1,171 @@
+package findapp
+
+import (
+	"testing"
+
+	"sleds/internal/apps/apptest"
+	"sleds/internal/core"
+)
+
+func TestParseLatencyPredicate(t *testing.T) {
+	cases := []struct {
+		in   string
+		op   Op
+		sec  float64
+		unit float64
+	}{
+		{"+2", OpMore, 2, 1},
+		{"-5", OpLess, 5, 1},
+		{"3", OpExactly, 3, 1},
+		{"+m500", OpMore, 0.5, 1e-3},
+		{"-M500", OpLess, 0.5, 1e-3},
+		{"u30", OpExactly, 30e-6, 1e-6},
+		{"+U1", OpMore, 1e-6, 1e-6},
+	}
+	for _, tc := range cases {
+		p, err := ParseLatencyPredicate(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		secDiff := p.Seconds - tc.sec
+		if secDiff < 0 {
+			secDiff = -secDiff
+		}
+		if p.Op != tc.op || secDiff > 1e-12 || p.Unit != tc.unit {
+			t.Errorf("Parse(%q) = %+v, want op=%v sec=%v unit=%v", tc.in, p, tc.op, tc.sec, tc.unit)
+		}
+	}
+	for _, bad := range []string{"", "+", "abc", "-x3", "+-2", "m", "-2x"} {
+		if _, err := ParseLatencyPredicate(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPredicateMatches(t *testing.T) {
+	more, _ := ParseLatencyPredicate("+2")
+	less, _ := ParseLatencyPredicate("-2")
+	exact, _ := ParseLatencyPredicate("2")
+	cases := []struct {
+		sec                  float64
+		wMore, wLess, wExact bool
+	}{
+		{1.0, false, true, false},
+		{2.5, true, false, true}, // 2.5s is in the "2 seconds" bucket
+		{3.5, true, false, false},
+		{2.0, false, false, true},
+	}
+	for _, tc := range cases {
+		if more.Matches(tc.sec) != tc.wMore {
+			t.Errorf("+2 vs %v: got %v", tc.sec, more.Matches(tc.sec))
+		}
+		if less.Matches(tc.sec) != tc.wLess {
+			t.Errorf("-2 vs %v: got %v", tc.sec, less.Matches(tc.sec))
+		}
+		if exact.Matches(tc.sec) != tc.wExact {
+			t.Errorf("2 vs %v: got %v", tc.sec, exact.Matches(tc.sec))
+		}
+	}
+}
+
+func buildTree(t *testing.T, m *apptest.Machine) {
+	t.Helper()
+	if err := m.K.MkdirAll("/data/src"); err != nil {
+		t.Fatal(err)
+	}
+	m.TextFile(t, "/data/src/main.c", 1, 6*apptest.PageSize)
+	m.TextFile(t, "/data/src/util.c", 2, 6*apptest.PageSize)
+	m.TextFile(t, "/data/src/readme.txt", 3, apptest.PageSize)
+	m.TextFile(t, "/data/big.dat", 4, 40*apptest.PageSize)
+}
+
+func TestNameGlob(t *testing.T) {
+	m := apptest.New(t, 64)
+	buildTree(t, m)
+	got, err := Run(m.Env(true), "/data", Options{NamePattern: "*.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("-name *.c found %d, want 2: %v", len(got), got)
+	}
+	if got[0].Path != "/data/src/main.c" || got[1].Path != "/data/src/util.c" {
+		t.Fatalf("wrong paths: %v", got)
+	}
+}
+
+func TestBadGlobRejected(t *testing.T) {
+	m := apptest.New(t, 64)
+	buildTree(t, m)
+	if _, err := Run(m.Env(true), "/data", Options{NamePattern: "["}); err == nil {
+		t.Fatalf("bad glob accepted")
+	}
+}
+
+func TestFilesOnly(t *testing.T) {
+	m := apptest.New(t, 64)
+	buildTree(t, m)
+	got, err := Run(m.Env(true), "/data", Options{FilesOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		n, _ := m.K.Stat(r.Path)
+		if n.IsDir() {
+			t.Fatalf("FilesOnly returned directory %s", r.Path)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("FilesOnly found %d files, want 4", len(got))
+	}
+}
+
+func TestLatencyPruning(t *testing.T) {
+	m := apptest.New(t, 64)
+	buildTree(t, m)
+	// Warm only the small readme: it becomes cheap, everything else stays
+	// at disk latency.
+	m.WarmFile(t, "/data/src/readme.txt")
+
+	cheap, _ := ParseLatencyPredicate("-m10") // under 10 ms
+	got, err := Run(m.Env(true), "/data", Options{Latency: &cheap, Plan: core.PlanLinear, FilesOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Path != "/data/src/readme.txt" {
+		t.Fatalf("-latency -m10 = %v, want only the cached readme", got)
+	}
+	if got[0].Seconds <= 0 {
+		t.Fatalf("estimate missing: %+v", got[0])
+	}
+
+	costly, _ := ParseLatencyPredicate("+m10")
+	got, err = Run(m.Env(true), "/data", Options{Latency: &costly, Plan: core.PlanLinear, FilesOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("-latency +m10 found %d, want 3: %v", len(got), got)
+	}
+}
+
+func TestLatencyPredicateDoesNoDataIO(t *testing.T) {
+	m := apptest.New(t, 64)
+	buildTree(t, m)
+	pred, _ := ParseLatencyPredicate("+0")
+	m.K.ResetRunStats()
+	if _, err := Run(m.Env(true), "/data", Options{Latency: &pred, FilesOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.K.RunStats().Faults; f != 0 {
+		t.Fatalf("find faulted %d pages; the estimate must come from the scan, not reads", f)
+	}
+}
+
+func TestMissingRoot(t *testing.T) {
+	m := apptest.New(t, 16)
+	if _, err := Run(m.Env(true), "/nope", Options{}); err == nil {
+		t.Fatalf("missing root accepted")
+	}
+}

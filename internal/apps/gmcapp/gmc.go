@@ -1,0 +1,86 @@
+// Package gmcapp is the SLEDs properties panel the paper added to the
+// GNOME file manager gmc (§5.2, Figure 6): for a file it reports "the
+// length, offset, latency, and bandwidth of each SLED, as well as the
+// estimated total delivery time for the file", so users can decide whether
+// to access the file at all.
+package gmcapp
+
+import (
+	"fmt"
+	"strings"
+
+	"sleds/internal/apps/appenv"
+	"sleds/internal/core"
+)
+
+// Report is the data behind the panel.
+type Report struct {
+	Path        string
+	Size        int64
+	SLEDs       []core.SLED
+	TotalLinear float64 // seconds, SLEDS_LINEAR estimate
+	TotalBest   float64 // seconds, SLEDS_BEST estimate
+}
+
+// Properties builds the report for the file at path.
+func Properties(env *appenv.Env, path string) (Report, error) {
+	n, err := env.K.Stat(path)
+	if err != nil {
+		return Report{}, err
+	}
+	sleds, err := core.Query(env.K, env.Table, n)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Path:        path,
+		Size:        n.Size(),
+		SLEDs:       sleds,
+		TotalLinear: core.TotalDeliveryTime(sleds, core.PlanLinear),
+		TotalBest:   core.TotalDeliveryTime(sleds, core.PlanBest),
+	}, nil
+}
+
+// CachedFraction reports how much of the file the panel shows as
+// memory-resident, in [0,1], given the table's memory entry.
+func (r Report) CachedFraction(memLatency float64) float64 {
+	if r.Size == 0 {
+		return 0
+	}
+	var cached int64
+	for _, s := range r.SLEDs {
+		if s.Latency == memLatency {
+			cached += s.Length
+		}
+	}
+	return float64(cached) / float64(r.Size)
+}
+
+// Render draws the panel as text, one row per SLED plus the totals — the
+// CLI stand-in for the gmc dialog.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLEDs properties: %s (%d bytes)\n", r.Path, r.Size)
+	fmt.Fprintf(&b, "%12s %12s %14s %14s %12s\n", "offset", "length", "latency", "bandwidth", "delivery")
+	for _, s := range r.SLEDs {
+		fmt.Fprintf(&b, "%12d %12d %14s %11.2f MB/s %12s\n",
+			s.Offset, s.Length, formatSeconds(s.Latency), s.Bandwidth/(1<<20), formatSeconds(s.DeliveryTime()))
+	}
+	fmt.Fprintf(&b, "estimated total delivery time: %s (linear), %s (best)\n",
+		formatSeconds(r.TotalLinear), formatSeconds(r.TotalBest))
+	return b.String()
+}
+
+// formatSeconds renders a duration with a human unit, as the panel would.
+func formatSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.2f us", s*1e6)
+	default:
+		return fmt.Sprintf("%.0f ns", s*1e9)
+	}
+}

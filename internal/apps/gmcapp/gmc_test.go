@@ -1,0 +1,90 @@
+package gmcapp
+
+import (
+	"strings"
+	"testing"
+
+	"sleds/internal/apps/apptest"
+)
+
+func TestPropertiesColdFile(t *testing.T) {
+	m := apptest.New(t, 64)
+	m.TextFile(t, "/data/f", 1, 10*apptest.PageSize)
+	r, err := Properties(m.Env(true), "/data/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != 10*apptest.PageSize {
+		t.Fatalf("size = %d", r.Size)
+	}
+	if len(r.SLEDs) != 1 {
+		t.Fatalf("cold file SLEDs = %v", r.SLEDs)
+	}
+	if r.TotalLinear <= 0 || r.TotalBest <= 0 {
+		t.Fatalf("totals missing: %+v", r)
+	}
+	if r.TotalBest > r.TotalLinear {
+		t.Fatalf("best %v exceeds linear %v", r.TotalBest, r.TotalLinear)
+	}
+	memE, _ := m.Table.Memory()
+	if got := r.CachedFraction(memE.Latency); got != 0 {
+		t.Fatalf("cold cached fraction = %v", got)
+	}
+}
+
+func TestPropertiesWarmFile(t *testing.T) {
+	m := apptest.New(t, 64)
+	m.TextFile(t, "/data/f", 1, 10*apptest.PageSize)
+	m.WarmFile(t, "/data/f")
+	r, err := Properties(m.Env(true), "/data/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memE, _ := m.Table.Memory()
+	if got := r.CachedFraction(memE.Latency); got != 1 {
+		t.Fatalf("warm cached fraction = %v, want 1", got)
+	}
+}
+
+func TestPropertiesMissingFile(t *testing.T) {
+	m := apptest.New(t, 16)
+	if _, err := Properties(m.Env(true), "/data/nope"); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestRenderPanel(t *testing.T) {
+	m := apptest.New(t, 8)
+	m.TextFile(t, "/data/f", 1, 16*apptest.PageSize)
+	m.WarmFile(t, "/data/f") // tail cached: at least 2 SLEDs
+	r, err := Properties(m.Env(true), "/data/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SLEDs) < 2 {
+		t.Fatalf("want mixed SLEDs, got %v", r.SLEDs)
+	}
+	panel := r.Render()
+	for _, want := range []string{"/data/f", "offset", "bandwidth", "estimated total delivery time"} {
+		if !strings.Contains(panel, want) {
+			t.Fatalf("panel missing %q:\n%s", want, panel)
+		}
+	}
+	if got := strings.Count(panel, "\n"); got != len(r.SLEDs)+3 {
+		t.Fatalf("panel has %d lines, want %d", got, len(r.SLEDs)+3)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		2.5:    "2.50 s",
+		0.013:  "13.00 ms",
+		42e-6:  "42.00 us",
+		175e-9: "175 ns",
+	}
+	for in, want := range cases {
+		if got := formatSeconds(in); got != want {
+			t.Errorf("formatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

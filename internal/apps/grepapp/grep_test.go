@@ -1,0 +1,453 @@
+package grepapp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sleds/internal/apps/apptest"
+	"sleds/internal/workload"
+)
+
+const needle = "xyzzy"
+
+// refGrep is the reference: split materialised content into lines and
+// search each.
+func refGrep(data []byte, pattern string) []Match {
+	var out []Match
+	var lineStart int64
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		var line []byte
+		if i < 0 {
+			line = data
+			data = nil
+		} else {
+			line = data[:i]
+			data = data[i+1:]
+		}
+		if bytes.Contains(line, []byte(pattern)) {
+			out = append(out, Match{Offset: lineStart, Line: string(line)})
+		}
+		lineStart += int64(len(line)) + 1
+	}
+	return out
+}
+
+func sameMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func plantedFile(t testing.TB, m *apptest.Machine, path string, seed uint64, size int64, offsets ...int64) *workload.Content {
+	t.Helper()
+	c := workload.NewText(seed, size, apptest.PageSize)
+	for _, off := range offsets {
+		workload.PlantMatch(c, off, needle)
+	}
+	if _, err := m.K.Create(path, m.Disk, c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLinearFindsPlantedMatches(t *testing.T) {
+	m := apptest.New(t, 64)
+	c := plantedFile(t, m, "/data/f", 1, 10*apptest.PageSize, 5000, 20000, 35000)
+	want := refGrep(c.ReadAll(), needle)
+	if len(want) != 3 {
+		t.Fatalf("reference found %d matches, want 3", len(want))
+	}
+	got, err := Run(m.Env(false), "/data/f", needle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatches(got, want) {
+		t.Fatalf("linear grep = %v, want %v", got, want)
+	}
+}
+
+func TestSLEDsMatchesReferenceWarm(t *testing.T) {
+	m := apptest.New(t, 8)
+	// Matches everywhere, including page boundaries and both the cached
+	// and evicted regions.
+	size := int64(20 * apptest.PageSize)
+	offsets := []int64{100, apptest.PageSize - 30, 7 * apptest.PageSize, 13*apptest.PageSize + 17, size - 200}
+	c := plantedFile(t, m, "/data/f", 2, size, offsets...)
+	m.WarmFile(t, "/data/f")
+	want := refGrep(c.ReadAll(), needle)
+	if len(want) != len(offsets) {
+		t.Fatalf("reference found %d matches, want %d", len(want), len(offsets))
+	}
+	got, err := Run(m.Env(true), "/data/f", needle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatches(got, want) {
+		t.Fatalf("SLEDs grep:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestSLEDsOutputSortedByOffset(t *testing.T) {
+	m := apptest.New(t, 8)
+	size := int64(16 * apptest.PageSize)
+	plantedFile(t, m, "/data/f", 3, size, 1000, 30000, 60000)
+	m.WarmFile(t, "/data/f")
+	got, err := Run(m.Env(true), "/data/f", needle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Offset < got[i-1].Offset {
+			t.Fatalf("matches not sorted: %v", got)
+		}
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	m := apptest.New(t, 16)
+	m.TextFile(t, "/data/f", 4, 4*apptest.PageSize)
+	for _, sleds := range []bool{false, true} {
+		got, err := Run(m.Env(sleds), "/data/f", needle, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("phantom matches (sleds=%v): %v", sleds, got)
+		}
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	m := apptest.New(t, 16)
+	m.TextFile(t, "/data/f", 4, apptest.PageSize)
+	if _, err := Run(m.Env(false), "/data/f", "", Options{}); err == nil {
+		t.Fatalf("empty pattern accepted")
+	}
+}
+
+func TestFirstOnlyLinearStopsEarly(t *testing.T) {
+	m := apptest.New(t, 64)
+	size := int64(32 * apptest.PageSize)
+	plantedFile(t, m, "/data/f", 5, size, 2*apptest.PageSize)
+	m.K.ResetRunStats()
+	env := m.Env(false)
+	env.BufSize = apptest.PageSize
+	got, err := Run(env, "/data/f", needle, Options{FirstOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("first-only returned %d matches", len(got))
+	}
+	// Must not have read the whole 32-page file: the match sits in page 2.
+	if faults := m.K.RunStats().Faults; faults > 4 {
+		t.Fatalf("first-only faulted %d pages; did not stop early", faults)
+	}
+}
+
+func TestFirstOnlySLEDsAvoidsIOWhenMatchCached(t *testing.T) {
+	m := apptest.New(t, 8)
+	size := int64(16 * apptest.PageSize)
+	// Match in the tail, which stays cached after a warm pass.
+	plantedFile(t, m, "/data/f", 6, size, 14*apptest.PageSize)
+	m.WarmFile(t, "/data/f")
+
+	m.K.ResetRunStats()
+	got, err := Run(m.Env(true), "/data/f", needle, Options{FirstOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("SLEDs -q found %d matches", len(got))
+	}
+	if faults := m.K.RunStats().Faults; faults != 0 {
+		t.Fatalf("SLEDs -q faulted %d pages despite cached match", faults)
+	}
+
+	// The non-SLEDs run must fault its way from the file head instead.
+	m.WarmFile(t, "/data/f")
+	m.K.ResetRunStats()
+	if _, err := Run(m.Env(false), "/data/f", needle, Options{FirstOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if faults := m.K.RunStats().Faults; faults == 0 {
+		t.Fatalf("linear -q run faulted 0 pages; expected head re-fetch")
+	}
+}
+
+func TestMatchSpanningChunkBoundary(t *testing.T) {
+	// Plant the needle so it straddles a page boundary: out-of-order
+	// chunks must reassemble the line before matching.
+	m := apptest.New(t, 8)
+	size := int64(12 * apptest.PageSize)
+	c := workload.NewText(7, size, apptest.PageSize)
+	// Custom line crossing the boundary between pages 5 and 6 with the
+	// needle exactly on the boundary.
+	boundary := int64(6 * apptest.PageSize)
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = 'q'
+	}
+	line[0] = '\n'
+	line[63] = '\n'
+	copy(line[30:], needle) // needle at bytes 30..34 of the line
+	c.InsertAt(boundary-32, line)
+	if _, err := m.K.Create("/data/f", m.Disk, c); err != nil {
+		t.Fatal(err)
+	}
+	m.WarmFile(t, "/data/f")
+	env := m.Env(true)
+	env.BufSize = apptest.PageSize // force chunk boundary at the page edge
+	got, err := Run(env, "/data/f", needle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("boundary-spanning match found %d times, want 1", len(got))
+	}
+}
+
+func TestSLEDsFasterThanLinearWarm(t *testing.T) {
+	m := apptest.New(t, 8)
+	size := int64(24 * apptest.PageSize)
+	plantedFile(t, m, "/data/f", 8, size, size/2)
+	m.WarmFile(t, "/data/f")
+
+	w := m.Env(false).Timer()
+	Run(m.Env(false), "/data/f", needle, Options{})
+	without := w.Elapsed()
+
+	m.WarmFile(t, "/data/f")
+	w = m.Env(true).Timer()
+	Run(m.Env(true), "/data/f", needle, Options{})
+	with := w.Elapsed()
+
+	if with >= without {
+		t.Fatalf("SLEDs grep (%v) not faster than linear (%v) on warm cache", with, without)
+	}
+}
+
+func TestSmallFileCPUOverhead(t *testing.T) {
+	// For a fully cached small file, the SLEDs variant should be slightly
+	// SLOWER (all CPU), reproducing the paper's small-file overhead.
+	m := apptest.New(t, 64)
+	size := int64(4 * apptest.PageSize)
+	plantedFile(t, m, "/data/f", 9, size, 1000)
+	m.WarmFile(t, "/data/f") // fully cached
+
+	w := m.Env(false).Timer()
+	Run(m.Env(false), "/data/f", needle, Options{})
+	without := w.Elapsed()
+
+	w = m.Env(true).Timer()
+	Run(m.Env(true), "/data/f", needle, Options{})
+	with := w.Elapsed()
+
+	if with <= without {
+		t.Fatalf("SLEDs grep (%v) unexpectedly faster than linear (%v) on a fully cached small file", with, without)
+	}
+}
+
+func TestMergerReassemblesArbitraryOrder(t *testing.T) {
+	text := "alpha\nbravo\ncharlie\ndelta\necho\nfoxtrot\n"
+	// Feed the merger 7-byte chunks in a scrambled order.
+	var lines []string
+	m := newMerger(func(off, _, _ int64, line []byte) bool {
+		lines = append(lines, string(line))
+		return true
+	})
+	var chunks []int64
+	for off := int64(0); off < int64(len(text)); off += 7 {
+		chunks = append(chunks, off)
+	}
+	order := []int{3, 0, 5, 1, 4, 2}
+	for _, i := range order {
+		off := chunks[i]
+		end := off + 7
+		if end > int64(len(text)) {
+			end = int64(len(text))
+		}
+		if !m.add(off, []byte(text[off:end])) {
+			t.Fatal("merger stopped")
+		}
+	}
+	m.finish(int64(len(text)))
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	if len(lines) != len(want) {
+		t.Fatalf("merger emitted %v, want %v", lines, want)
+	}
+	seen := map[string]int{}
+	for _, l := range lines {
+		seen[l]++
+	}
+	for _, w := range want {
+		if seen[w] != 1 {
+			t.Fatalf("line %q emitted %d times", w, seen[w])
+		}
+	}
+}
+
+func TestMergerSingleLineNoSeparator(t *testing.T) {
+	var lines []string
+	m := newMerger(func(off, _, _ int64, line []byte) bool {
+		lines = append(lines, string(line))
+		return true
+	})
+	m.add(3, []byte("def"))
+	m.add(0, []byte("abc"))
+	m.finish(6)
+	if len(lines) != 1 || lines[0] != "abcdef" {
+		t.Fatalf("merger emitted %v", lines)
+	}
+}
+
+// Property: SLEDs grep finds exactly the reference matches for arbitrary
+// residency states, buffer sizes, and match placements.
+func TestAgreementProperty(t *testing.T) {
+	f := func(seed uint16, sizeRaw uint16, posRaw uint16, bufRaw uint8) bool {
+		m := apptest.New(t, 4)
+		size := int64(sizeRaw)%30000 + 2000
+		pos := int64(posRaw) % size
+		c := workload.NewText(uint64(seed), size, apptest.PageSize)
+		workload.PlantMatch(c, pos, needle)
+		if _, err := m.K.Create("/data/f", m.Disk, c); err != nil {
+			return false
+		}
+		m.WarmFile(t, "/data/f")
+		want := refGrep(c.ReadAll(), needle)
+
+		env := m.Env(true)
+		env.BufSize = int64(bufRaw)%5000 + 128
+		got, err := Run(env, "/data/f", needle, Options{})
+		if err != nil {
+			return false
+		}
+		return sameMatches(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongLinesAcrossManyChunks(t *testing.T) {
+	// A single line spanning several chunks, needle in the middle.
+	m := apptest.New(t, 8)
+	var sb strings.Builder
+	sb.WriteString("short\n")
+	long := strings.Repeat("z", 3*apptest.PageSize)
+	sb.WriteString(long[:apptest.PageSize] + needle + long[apptest.PageSize:])
+	sb.WriteString("\ntail\n")
+	data := []byte(sb.String())
+	if _, err := m.K.Create("/data/f", m.Disk, workload.NewBytes(data, apptest.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	m.WarmFile(t, "/data/f")
+	env := m.Env(true)
+	env.BufSize = apptest.PageSize / 2
+	got, err := Run(env, "/data/f", needle, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("long-line match found %d times, want 1", len(got))
+	}
+	if got[0].Offset != 6 {
+		t.Fatalf("long-line match offset %d, want 6", got[0].Offset)
+	}
+}
+
+// refGrepN computes reference line numbers.
+func refGrepN(data []byte, pattern string) []Match {
+	out := refGrep(data, pattern)
+	for i := range out {
+		out[i].LineNo = 1 + int64(bytes.Count(data[:out[i].Offset], []byte{'\n'}))
+	}
+	return out
+}
+
+func TestLineNumbersLinear(t *testing.T) {
+	m := apptest.New(t, 64)
+	c := plantedFile(t, m, "/data/f", 21, 6*apptest.PageSize, 100, 9000, 20000)
+	want := refGrepN(c.ReadAll(), needle)
+	got, err := Run(m.Env(false), "/data/f", needle, Options{LineNumbers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatches(got, want) {
+		t.Fatalf("-n linear:\n got %v\nwant %v", got, want)
+	}
+	for _, g := range got {
+		if g.LineNo <= 0 {
+			t.Fatalf("missing line number: %+v", g)
+		}
+	}
+}
+
+func TestLineNumbersSLEDsOutOfOrder(t *testing.T) {
+	// The hard case the paper calls out: -n with out-of-order reads.
+	m := apptest.New(t, 8)
+	size := int64(20 * apptest.PageSize)
+	offsets := []int64{50, apptest.PageSize - 10, 9*apptest.PageSize + 5, size - 300}
+	c := plantedFile(t, m, "/data/f", 22, size, offsets...)
+	m.WarmFile(t, "/data/f") // tail cached -> schedule is out of order
+	want := refGrepN(c.ReadAll(), needle)
+	got, err := Run(m.Env(true), "/data/f", needle, Options{LineNumbers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatches(got, want) {
+		t.Fatalf("-n SLEDs:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestLineNumbersOffByDefault(t *testing.T) {
+	m := apptest.New(t, 16)
+	plantedFile(t, m, "/data/f", 23, 2*apptest.PageSize, 1000)
+	for _, sleds := range []bool{false, true} {
+		got, err := Run(m.Env(sleds), "/data/f", needle, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range got {
+			if g.LineNo != 0 {
+				t.Fatalf("line number set without -n (sleds=%v): %+v", sleds, g)
+			}
+		}
+	}
+}
+
+// Property: SLEDs -n agrees with the reference for arbitrary sizes,
+// buffers and match positions under heavy eviction.
+func TestLineNumbersAgreementProperty(t *testing.T) {
+	f := func(seed uint16, sizeRaw uint16, posRaw uint16, bufRaw uint8) bool {
+		m := apptest.New(t, 4)
+		size := int64(sizeRaw)%30000 + 2000
+		pos := int64(posRaw) % size
+		c := workload.NewText(uint64(seed), size, apptest.PageSize)
+		workload.PlantMatch(c, pos, needle)
+		if _, err := m.K.Create("/data/f", m.Disk, c); err != nil {
+			return false
+		}
+		m.WarmFile(t, "/data/f")
+		want := refGrepN(c.ReadAll(), needle)
+		env := m.Env(true)
+		env.BufSize = int64(bufRaw)%5000 + 128
+		got, err := Run(env, "/data/f", needle, Options{LineNumbers: true})
+		if err != nil {
+			return false
+		}
+		return sameMatches(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

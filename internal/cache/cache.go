@@ -1,0 +1,310 @@
+// Package cache implements the file system buffer cache: a fixed-capacity
+// pool of page frames indexed by (file, page) with pluggable replacement.
+//
+// The cache is the heart of the reproduction. The paper's Figure 3 shows
+// why applications need SLEDs at all: under LRU, two linear passes over a
+// file larger than the cache derive no benefit from one another, because
+// the first pass's tail is evicted by its own head. SLEDs let the second
+// pass read the surviving tail first. Everything measured in Figures 7-15
+// follows from this cache behaviour.
+//
+// Replacement policies: strict LRU (the default, matching Linux 2.2's
+// approximation), CLOCK (second chance), and FIFO. The ablation benches
+// compare the SLEDs gain across them.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy selects the replacement algorithm.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	Clock
+	FIFO
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case Clock:
+		return "CLOCK"
+	case FIFO:
+		return "FIFO"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Key identifies a cached page: a file identity plus a page index within
+// the file.
+type Key struct {
+	File uint64
+	Page int64
+}
+
+// frame is one resident page.
+type frame struct {
+	key   Key
+	data  []byte
+	dirty bool
+	ref   bool // CLOCK reference bit
+}
+
+// EvictFn is called when a page leaves the cache. dirty reports whether
+// the page held unwritten data; the callee owns writing it back.
+type EvictFn func(key Key, data []byte, dirty bool)
+
+// Stats counts cache activity since construction or the last ResetStats.
+type Stats struct {
+	Hits           int64
+	Misses         int64 // recorded by the caller via RecordMiss (a Get that missed)
+	Inserts        int64
+	Evictions      int64
+	DirtyEvictions int64
+}
+
+// Cache is a fixed-capacity page cache. Not safe for concurrent use; the
+// simulated kernel is single-threaded.
+type Cache struct {
+	capacity int
+	policy   Policy
+	onEvict  EvictFn
+
+	// order holds *frame in recency order: front = most recently used
+	// (LRU), or insertion order (FIFO/CLOCK with the hand at the back).
+	order *list.List
+	index map[Key]*list.Element
+
+	stats Stats
+}
+
+// New creates a cache holding at most capacity pages. onEvict may be nil.
+func New(capacity int, policy Policy, onEvict EvictFn) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: non-positive capacity %d", capacity))
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		onEvict:  onEvict,
+		order:    list.New(),
+		index:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Cap returns the capacity in pages.
+func (c *Cache) Cap() int { return c.capacity }
+
+// Len returns the number of resident pages.
+func (c *Cache) Len() int { return c.order.Len() }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the activity counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Get returns the page data if resident, updating recency state. The
+// returned slice aliases the cached frame; callers must not retain it
+// across evictions (the simulated kernel copies out immediately).
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	e, ok := c.index[k]
+	if !ok {
+		return nil, false
+	}
+	f := e.Value.(*frame)
+	switch c.policy {
+	case LRU:
+		c.order.MoveToFront(e)
+	case Clock:
+		f.ref = true
+	case FIFO:
+		// insertion order is never disturbed
+	}
+	c.stats.Hits++
+	return f.data, true
+}
+
+// Contains reports residency WITHOUT touching recency state. This is what
+// the kernel's FSLEDS_GET page scan uses: estimating latency must not
+// itself reorder the cache (a probe effect the paper's implementation
+// avoids by reading kernel page tables directly).
+func (c *Cache) Contains(k Key) bool {
+	_, ok := c.index[k]
+	return ok
+}
+
+// RecordMiss notes that a lookup missed; kept separate from Get so that
+// pure residency probes don't inflate miss counts.
+func (c *Cache) RecordMiss() { c.stats.Misses++ }
+
+// Insert adds a page, evicting as needed. Inserting a key that is already
+// resident replaces its data and dirty bit (and refreshes recency).
+func (c *Cache) Insert(k Key, data []byte, dirty bool) {
+	if e, ok := c.index[k]; ok {
+		f := e.Value.(*frame)
+		f.data = data
+		f.dirty = f.dirty || dirty
+		switch c.policy {
+		case LRU:
+			c.order.MoveToFront(e)
+		case Clock:
+			f.ref = true
+		}
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		c.evictOne()
+	}
+	e := c.order.PushFront(&frame{key: k, data: data, dirty: dirty})
+	c.index[k] = e
+	c.stats.Inserts++
+}
+
+// evictOne removes one page according to the policy.
+func (c *Cache) evictOne() {
+	var victim *list.Element
+	switch c.policy {
+	case LRU, FIFO:
+		victim = c.order.Back()
+	case Clock:
+		// Second chance: examine the back; if referenced, clear the bit
+		// and rotate to the front, else evict. Bounded by 2n iterations.
+		for i := 0; i < 2*c.order.Len()+1; i++ {
+			e := c.order.Back()
+			f := e.Value.(*frame)
+			if f.ref {
+				f.ref = false
+				c.order.MoveToFront(e)
+				continue
+			}
+			victim = e
+			break
+		}
+	}
+	if victim == nil {
+		panic("cache: no eviction victim found")
+	}
+	c.removeElement(victim)
+}
+
+func (c *Cache) removeElement(e *list.Element) {
+	f := e.Value.(*frame)
+	c.order.Remove(e)
+	delete(c.index, f.key)
+	c.stats.Evictions++
+	if f.dirty {
+		c.stats.DirtyEvictions++
+	}
+	if c.onEvict != nil {
+		c.onEvict(f.key, f.data, f.dirty)
+	}
+}
+
+// MarkDirty flags a resident page as modified; reports whether the page
+// was resident.
+func (c *Cache) MarkDirty(k Key) bool {
+	e, ok := c.index[k]
+	if !ok {
+		return false
+	}
+	e.Value.(*frame).dirty = true
+	return true
+}
+
+// Invalidate drops a page if resident, without calling onEvict for clean
+// pages; dirty pages still flow through onEvict so data is not lost.
+func (c *Cache) Invalidate(k Key) {
+	e, ok := c.index[k]
+	if !ok {
+		return
+	}
+	f := e.Value.(*frame)
+	if !f.dirty {
+		c.order.Remove(e)
+		delete(c.index, k)
+		return
+	}
+	c.removeElement(e)
+}
+
+// InvalidateFile drops every page of the given file (used when a simulated
+// file is deleted).
+func (c *Cache) InvalidateFile(file uint64) {
+	var drop []*list.Element
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		if e.Value.(*frame).key.File == file {
+			drop = append(drop, e)
+		}
+	}
+	for _, e := range drop {
+		f := e.Value.(*frame)
+		if f.dirty {
+			c.removeElement(e)
+		} else {
+			c.order.Remove(e)
+			delete(c.index, f.key)
+		}
+	}
+}
+
+// FlushDirty invokes write for every dirty page (front-to-back) and marks
+// them clean. It models sync/write-back without eviction.
+func (c *Cache) FlushDirty(write func(Key, []byte)) {
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*frame)
+		if f.dirty {
+			if write != nil {
+				write(f.key, f.data)
+			}
+			f.dirty = false
+		}
+	}
+}
+
+// FlushFile invokes write for every dirty page of one file and marks them
+// clean (fsync(2) for the simulated world).
+func (c *Cache) FlushFile(file uint64, write func(Key, []byte)) {
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*frame)
+		if f.dirty && f.key.File == file {
+			if write != nil {
+				write(f.key, f.data)
+			}
+			f.dirty = false
+		}
+	}
+}
+
+// ResidentPages returns the keys of all resident pages of the given file,
+// unordered residency snapshot for SLED construction.
+func (c *Cache) ResidentPages(file uint64) []Key {
+	var out []Key
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*frame)
+		if f.key.File == file {
+			out = append(out, f.key)
+		}
+	}
+	return out
+}
+
+// RecencyTrace returns the resident keys from most to least recently used;
+// the experiment harness uses it to render the paper's Figure 3 table.
+func (c *Cache) RecencyTrace() []Key {
+	out := make([]Key, 0, c.order.Len())
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*frame).key)
+	}
+	return out
+}

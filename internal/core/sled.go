@@ -1,0 +1,314 @@
+// Package core implements Storage Latency Estimation Descriptors — the
+// paper's primary contribution.
+//
+// A SLED describes one contiguous section of a file together with the
+// estimated latency to its first byte and the bandwidth at which the rest
+// will arrive (paper Figure 2). A file's state is reported as a vector of
+// SLEDs: walking the file from start to end, every discontinuity in
+// storage level, latency or bandwidth starts a new SLED.
+//
+// The package also implements the kernel half of the paper's design
+// (§4.1): a per-device table of (latency, bandwidth) entries filled at
+// boot (FSLEDS_FILL, here Table.SetDevice fed by internal/lmbench), and
+// the page-residency scan that builds the SLED vector for an open file
+// (FSLEDS_GET, here Query).
+package core
+
+import (
+	"fmt"
+
+	"sleds/internal/device"
+	"sleds/internal/vfs"
+)
+
+// SLED is the paper's struct sled: a file section and its retrieval
+// estimates. Latency is in seconds and Bandwidth in bytes/second —
+// floating point, as in the paper, because the necessary range exceeds
+// integers (nanoseconds to hundreds of seconds).
+type SLED struct {
+	Offset    int64   // byte offset into the file
+	Length    int64   // length of the section in bytes
+	Latency   float64 // seconds to the first byte
+	Bandwidth float64 // bytes/second once flowing
+}
+
+// End returns the offset one past the section.
+func (s SLED) End() int64 { return s.Offset + s.Length }
+
+// DeliveryTime estimates seconds to retrieve the whole section.
+func (s SLED) DeliveryTime() float64 {
+	if s.Length == 0 {
+		return 0
+	}
+	return s.Latency + float64(s.Length)/s.Bandwidth
+}
+
+// SameEstimates reports whether two SLEDs carry identical performance
+// estimates (the coalescing criterion).
+func (s SLED) SameEstimates(o SLED) bool {
+	return s.Latency == o.Latency && s.Bandwidth == o.Bandwidth
+}
+
+// String renders the SLED the way the gmc properties panel shows it.
+func (s SLED) String() string {
+	return fmt.Sprintf("[%d,+%d) lat=%.6gs bw=%.4g MB/s", s.Offset, s.Length, s.Latency, s.Bandwidth/(1<<20))
+}
+
+// Entry is one row of the kernel sleds table: the measured performance of
+// one storage level.
+type Entry struct {
+	Latency   float64 // seconds
+	Bandwidth float64 // bytes/second
+}
+
+// valid reports whether the entry is usable.
+func (e Entry) valid() bool { return e.Bandwidth > 0 && e.Latency >= 0 }
+
+// ZoneEntry is the multi-zone extension the paper leaves as future work
+// ("entries which account for the different bandwidths of different disk
+// zones will be added in a future version"): an Entry that applies from a
+// given device byte offset onward.
+type ZoneEntry struct {
+	FromByte int64
+	Entry
+}
+
+// Table is the kernel sleds table: one entry for primary memory and one
+// (or, with the zone extension, several) per device. It is filled at boot
+// by measuring the devices — see internal/lmbench — exactly as the paper
+// fills it from a boot script running lmbench.
+type Table struct {
+	mem     Entry
+	devs    map[device.ID]Entry
+	zones   map[device.ID][]ZoneEntry
+	haveMem bool
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{devs: make(map[device.ID]Entry), zones: make(map[device.ID][]ZoneEntry)}
+}
+
+// SetMemory installs the primary-memory entry.
+func (t *Table) SetMemory(e Entry) error {
+	if !e.valid() {
+		return fmt.Errorf("core: invalid memory entry %+v", e)
+	}
+	t.mem = e
+	t.haveMem = true
+	return nil
+}
+
+// Memory returns the primary-memory entry.
+func (t *Table) Memory() (Entry, bool) { return t.mem, t.haveMem }
+
+// SetDevice installs the single-zone entry for a device (FSLEDS_FILL).
+func (t *Table) SetDevice(id device.ID, e Entry) error {
+	if !e.valid() {
+		return fmt.Errorf("core: invalid entry %+v for device %d", e, id)
+	}
+	t.devs[id] = e
+	delete(t.zones, id)
+	return nil
+}
+
+// SetDeviceZones installs the multi-zone extension for a device. Zones
+// must be sorted by FromByte with the first at 0.
+func (t *Table) SetDeviceZones(id device.ID, zs []ZoneEntry) error {
+	if len(zs) == 0 {
+		return fmt.Errorf("core: empty zone list for device %d", id)
+	}
+	if zs[0].FromByte != 0 {
+		return fmt.Errorf("core: first zone for device %d starts at %d, want 0", id, zs[0].FromByte)
+	}
+	for i, z := range zs {
+		if !z.valid() {
+			return fmt.Errorf("core: invalid zone %d for device %d", i, id)
+		}
+		if i > 0 && zs[i].FromByte <= zs[i-1].FromByte {
+			return fmt.Errorf("core: zones for device %d not strictly increasing", id)
+		}
+	}
+	cp := make([]ZoneEntry, len(zs))
+	copy(cp, zs)
+	t.zones[id] = cp
+	// Keep a representative single-zone entry too (first zone), so code
+	// that does not understand zones still works.
+	t.devs[id] = zs[0].Entry
+	return nil
+}
+
+// Device returns the single-zone entry for a device.
+func (t *Table) Device(id device.ID) (Entry, bool) {
+	e, ok := t.devs[id]
+	return e, ok
+}
+
+// deviceAt returns the entry in effect at a device byte offset, consulting
+// zones when installed.
+func (t *Table) deviceAt(id device.ID, off int64) (Entry, bool) {
+	if zs, ok := t.zones[id]; ok {
+		cur := zs[0].Entry
+		for _, z := range zs {
+			if z.FromByte > off {
+				break
+			}
+			cur = z.Entry
+		}
+		return cur, true
+	}
+	e, ok := t.devs[id]
+	return e, ok
+}
+
+// Devices returns the IDs with installed entries.
+func (t *Table) Devices() []device.ID {
+	out := make([]device.ID, 0, len(t.devs))
+	for id := range t.devs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Query is FSLEDS_GET: it scans every page of the file, classifies it as
+// resident (memory entry) or on-device (device entry, possibly
+// zone-dependent), and coalesces consecutive pages with equal estimates
+// into SLEDs. The scan probes residency without perturbing replacement
+// state.
+func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
+	if n.IsDir() {
+		return nil, fmt.Errorf("core: %q is a directory", n.Name())
+	}
+	if !t.haveMem {
+		return nil, fmt.Errorf("core: sleds table has no memory entry (boot fill missing?)")
+	}
+	size := n.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	ps := int64(k.PageSize())
+	pages := (size + ps - 1) / ps
+
+	var out []SLED
+	for p := int64(0); p < pages; p++ {
+		var e Entry
+		if k.PageResident(n, p) {
+			e = t.mem
+		} else {
+			// DeviceForPage consults the HSM stager when one is
+			// interposed: a tape file's staged pages report the disk's
+			// estimates, unstaged ones the tape's.
+			dev := k.DeviceForPage(n, p)
+			var ok bool
+			e, ok = t.deviceAt(dev, n.Extent()+p*ps)
+			if !ok {
+				return nil, fmt.Errorf("core: no sleds table entry for device %d (file %q)", dev, n.Name())
+			}
+		}
+		length := ps
+		if (p+1)*ps > size {
+			length = size - p*ps
+		}
+		cur := SLED{Offset: p * ps, Length: length, Latency: e.Latency, Bandwidth: e.Bandwidth}
+		if len(out) > 0 && out[len(out)-1].SameEstimates(cur) && out[len(out)-1].End() == cur.Offset {
+			out[len(out)-1].Length += cur.Length
+		} else {
+			out = append(out, cur)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks the structural invariants of a SLED vector for a file of
+// the given size: sorted, contiguous, covering [0, size), maximally
+// coalesced, positive estimates. Returns nil if all hold. Exposed because
+// both tests and downstream consumers (the pick library) rely on them.
+func Validate(sleds []SLED, size int64) error {
+	if size == 0 {
+		if len(sleds) != 0 {
+			return fmt.Errorf("core: %d SLEDs for empty file", len(sleds))
+		}
+		return nil
+	}
+	if len(sleds) == 0 {
+		return fmt.Errorf("core: no SLEDs for %d-byte file", size)
+	}
+	if sleds[0].Offset != 0 {
+		return fmt.Errorf("core: first SLED starts at %d, want 0", sleds[0].Offset)
+	}
+	for i, s := range sleds {
+		if s.Length <= 0 {
+			return fmt.Errorf("core: SLED %d has non-positive length %d", i, s.Length)
+		}
+		if s.Bandwidth <= 0 || s.Latency < 0 {
+			return fmt.Errorf("core: SLED %d has invalid estimates %+v", i, s)
+		}
+		if i > 0 {
+			prev := sleds[i-1]
+			if prev.End() != s.Offset {
+				return fmt.Errorf("core: gap/overlap between SLED %d and %d", i-1, i)
+			}
+			if prev.SameEstimates(s) {
+				return fmt.Errorf("core: SLEDs %d and %d not coalesced", i-1, i)
+			}
+		}
+	}
+	if last := sleds[len(sleds)-1]; last.End() != size {
+		return fmt.Errorf("core: SLEDs end at %d, file size %d", last.End(), size)
+	}
+	return nil
+}
+
+// TotalDeliveryTime sums delivery estimates over a SLED vector.
+//
+// Plan selects the paper's attack_plan argument: PlanLinear charges each
+// SLED's latency plus transfer in file order (one head repositioning per
+// discontinuity); PlanBest assumes the reader visits low-latency sections
+// first and the expensive latencies are paid only once per level change —
+// modelled, as in our library, by charging each distinct latency class
+// once plus all transfer times.
+func TotalDeliveryTime(sleds []SLED, plan Plan) float64 {
+	switch plan {
+	case PlanLinear:
+		var total float64
+		for _, s := range sleds {
+			total += s.DeliveryTime()
+		}
+		return total
+	case PlanBest:
+		var transfer float64
+		latSeen := map[float64]bool{}
+		var latOnce float64
+		for _, s := range sleds {
+			transfer += float64(s.Length) / s.Bandwidth
+			if !latSeen[s.Latency] {
+				latSeen[s.Latency] = true
+				latOnce += s.Latency
+			}
+		}
+		return transfer + latOnce
+	default:
+		panic(fmt.Sprintf("core: unknown plan %d", plan))
+	}
+}
+
+// Plan is the attack_plan argument of sleds_total_delivery_time.
+type Plan int
+
+// Attack plans (paper §4.2: SLEDS_LINEAR and SLEDS_BEST).
+const (
+	PlanLinear Plan = iota
+	PlanBest
+)
+
+// String names the plan.
+func (p Plan) String() string {
+	switch p {
+	case PlanLinear:
+		return "SLEDS_LINEAR"
+	case PlanBest:
+		return "SLEDS_BEST"
+	default:
+		return fmt.Sprintf("plan(%d)", int(p))
+	}
+}

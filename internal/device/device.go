@@ -1,0 +1,147 @@
+// Package device models the storage devices underneath the simulated file
+// systems: primary memory, hard disks (with seek, rotation and zoned
+// transfer rates after Ruemmler & Wilkes), CD-ROM drives, NFS servers, and
+// tape drives with an autochanger.
+//
+// Devices advance a virtual clock (internal/simclock) rather than taking
+// real time. Each device keeps the dynamic mechanical state the paper
+// describes — head position, rotational phase, tape position, mounted
+// media — so that access cost depends on access history, which is exactly
+// the variability SLEDs exist to expose.
+//
+// The models here are the simulator's ground truth. The kernel's sleds
+// table (internal/core) does NOT read these parameters directly; it is
+// filled by measuring the devices with internal/lmbench, mirroring how the
+// paper calibrated its table by running lmbench at boot.
+package device
+
+import (
+	"fmt"
+
+	"sleds/internal/simclock"
+)
+
+// Level identifies a storage level in the hierarchy. The kernel sleds
+// table has one (latency, bandwidth) entry per level/device.
+type Level int
+
+// Storage levels, ordered roughly from fastest to slowest.
+const (
+	LevelMemory Level = iota
+	LevelDisk
+	LevelCDROM
+	LevelNFS
+	LevelTape
+	numLevels
+)
+
+// String returns the level name used in reports and tables.
+func (l Level) String() string {
+	switch l {
+	case LevelMemory:
+		return "memory"
+	case LevelDisk:
+		return "hard disk"
+	case LevelCDROM:
+		return "CD-ROM"
+	case LevelNFS:
+		return "NFS"
+	case LevelTape:
+		return "tape"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// NumLevels reports how many distinct storage levels exist.
+func NumLevels() int { return int(numLevels) }
+
+// ID names a concrete device instance within a System.
+type ID int
+
+// None is the zero ID, meaning "no device".
+const None ID = -1
+
+// Info describes a device instance.
+type Info struct {
+	ID    ID
+	Name  string
+	Level Level
+	// Size is the device capacity in bytes (0 = unbounded, e.g. memory).
+	Size int64
+}
+
+// Device is a storage device simulated in virtual time.
+//
+// Offsets are linear byte addresses within the device. Read and Write
+// advance the clock by the modelled positioning and transfer cost of the
+// access; they carry no data (file contents are handled by the backing
+// layer in internal/workload — the device models cost only).
+type Device interface {
+	Info() Info
+
+	// Read simulates reading length bytes at off.
+	Read(c *simclock.Clock, off, length int64)
+
+	// Write simulates writing length bytes at off.
+	Write(c *simclock.Clock, off, length int64)
+
+	// Reset discards dynamic mechanical state (head position, rotational
+	// phase, ...), returning the device to its power-on state. The
+	// experiment harness calls this between independent trials.
+	Reset()
+}
+
+// Registry tracks the devices attached to a simulated machine.
+type Registry struct {
+	devices []Device
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Attach adds a device and assigns it the next ID. The device's Info must
+// return the assigned ID afterwards; concrete devices in this package take
+// the ID at construction via their config, so Attach verifies consistency.
+func (r *Registry) Attach(d Device) ID {
+	id := ID(len(r.devices))
+	if got := d.Info().ID; got != id {
+		panic(fmt.Sprintf("device: attaching %q with ID %d as ID %d", d.Info().Name, got, id))
+	}
+	r.devices = append(r.devices, d)
+	return id
+}
+
+// Get returns the device with the given ID.
+func (r *Registry) Get(id ID) Device {
+	if id < 0 || int(id) >= len(r.devices) {
+		panic(fmt.Sprintf("device: unknown device ID %d", id))
+	}
+	return r.devices[id]
+}
+
+// Len reports the number of attached devices.
+func (r *Registry) Len() int { return len(r.devices) }
+
+// All returns the attached devices in ID order. The slice is a copy.
+func (r *Registry) All() []Device {
+	out := make([]Device, len(r.devices))
+	copy(out, r.devices)
+	return out
+}
+
+// ResetAll resets the dynamic state of every attached device.
+func (r *Registry) ResetAll() {
+	for _, d := range r.devices {
+		d.Reset()
+	}
+}
+
+func checkExtent(info Info, off, length int64) {
+	if off < 0 || length < 0 {
+		panic(fmt.Sprintf("device %q: negative extent (off=%d len=%d)", info.Name, off, length))
+	}
+	if info.Size > 0 && off+length > info.Size {
+		panic(fmt.Sprintf("device %q: extent [%d,%d) beyond size %d", info.Name, off, off+length, info.Size))
+	}
+}

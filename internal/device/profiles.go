@@ -1,0 +1,47 @@
+package device
+
+import "sleds/internal/simclock"
+
+// Profiles for the two test machines in the paper. Table 2 is the machine
+// used for the Unix utility experiments; Table 3 is the (faster-memory,
+// slower-disk) machine used for the LHEASOFT experiments.
+
+// Table2MemConfig returns the Unix-utilities machine's memory profile
+// (175 ns, 48 MB/s).
+func Table2MemConfig(id ID) MemConfig { return DefaultMemConfig(id) }
+
+// Table2DiskConfig returns the Unix-utilities machine's disk profile,
+// tuned to measure ~18 ms / ~9.0 MB/s.
+func Table2DiskConfig(id ID) DiskConfig { return DefaultDiskConfig(id) }
+
+// Table3MemConfig returns the LHEASOFT machine's memory profile
+// (210 ns, 87 MB/s).
+func Table3MemConfig(id ID) MemConfig {
+	return MemConfig{
+		ID:        id,
+		Name:      "mem0",
+		Latency:   210 * simclock.Nanosecond,
+		Bandwidth: 87 * float64(1<<20),
+	}
+}
+
+// Table3DiskConfig returns the LHEASOFT machine's disk profile, tuned to
+// measure ~16.5 ms / ~7.0 MB/s: a slightly faster-seeking but
+// lower-transfer-rate drive than Table 2's.
+func Table3DiskConfig(id ID) DiskConfig {
+	return DiskConfig{
+		ID:                 id,
+		Name:               "hda",
+		Size:               4 << 30,
+		Cylinders:          8192,
+		RPM:                5400,
+		SeekMin:            1100 * simclock.Microsecond,
+		SeekAvg:            10500 * simclock.Microsecond,
+		SeekMax:            20 * simclock.Millisecond,
+		OuterBandwidth:     8.5 * float64(1<<20),
+		InnerBandwidth:     5.5 * float64(1<<20),
+		ControllerOverhead: 500 * simclock.Microsecond,
+		CylinderSwitch:     900 * simclock.Microsecond,
+		WriteSettle:        1300 * simclock.Microsecond,
+	}
+}

@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sleds/internal/apps/wcapp"
+	"sleds/internal/cache"
+	"sleds/internal/core"
+	"sleds/internal/lmbench"
+	"sleds/internal/simclock"
+	"sleds/internal/sledlib"
+)
+
+// The ablation experiments vary the design choices DESIGN.md calls out
+// and measure the effect on the headline SLEDs gain. Each uses the
+// wc-on-warm-cache scenario at twice the cache size — the middle of the
+// regime where SLEDs help.
+
+// ablationSize returns the canonical ablation file size: 2x cache.
+func ablationSize(cfg Config) int64 { return 2 * cfg.CacheBytes() }
+
+// wcWarmSpeedup measures the wc speedup (without/with SLEDs) on a warm
+// file of the given size under cfg.
+func wcWarmSpeedup(cfg Config, size int64) (speedup float64, err error) {
+	var sec [2]float64
+	for i, useSLEDs := range []bool{false, true} {
+		m, err := BootMachine(cfg, ProfileUnix)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
+			return 0, err
+		}
+		env := m.Env(useSLEDs, cfg.BufSize)
+		elapsed, _, err := measured(cfg, m, func(int) error {
+			_, err := wcapp.Run(env, "/data/testfile")
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		sec[i] = elapsed.Mean()
+	}
+	return sec[0] / sec[1], nil
+}
+
+// AblationPolicy measures the SLEDs gain under each replacement policy.
+// The Figure 3 pathology is specific to LRU-like policies; CLOCK
+// approximates it, FIFO shares it for pure linear scans.
+func AblationPolicy(cfg Config) (Figure, error) {
+	cfg.validate()
+	size := ablationSize(cfg)
+	var pts []Point
+	var names []string
+	for _, pol := range []cache.Policy{cache.LRU, cache.Clock, cache.FIFO} {
+		c := cfg
+		c.Policy = pol
+		sp, err := wcWarmSpeedup(c, size)
+		if err != nil {
+			return Figure{}, err
+		}
+		pts = append(pts, Point{X: float64(pol), Mean: sp})
+		names = append(names, pol.String())
+	}
+	return Figure{
+		ID:     "ablation-policy",
+		Title:  fmt.Sprintf("wc warm-cache speedup at 2x cache size, by replacement policy (%v)", names),
+		XLabel: "policy", YLabel: "speedup",
+		Series: []Series{{Name: "without/with SLEDs", Points: pts}},
+		Notes:  "x: 0=LRU 1=CLOCK 2=FIFO",
+	}, nil
+}
+
+// pickOrderScan reads a whole warm file through a picker with the given
+// order and reports elapsed seconds and faults.
+func pickOrderScan(cfg Config, order sledlib.Order) (sec float64, faults int64, err error) {
+	m, err := BootMachine(cfg, ProfileUnix)
+	if err != nil {
+		return 0, 0, err
+	}
+	size := ablationSize(cfg)
+	if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
+		return 0, 0, err
+	}
+	f, err := m.K.Open("/data/testfile")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	if _, err := io.Copy(io.Discard, f); err != nil { // warm
+		return 0, 0, err
+	}
+
+	picker, err := sledlib.PickInit(m.K, m.Table, f, sledlib.Options{BufSize: cfg.BufSize, Order: order})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer picker.Finish()
+	m.K.ResetDeviceState()
+	m.K.ResetRunStats()
+	start := m.K.Clock.Now()
+	buf := make([]byte, cfg.BufSize)
+	for {
+		off, n, err := picker.NextRead()
+		if errors.Is(err, sledlib.ErrFinished) {
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+			return 0, 0, err
+		}
+	}
+	return float64(m.K.Clock.Now()-start) / float64(simclock.Second), m.K.RunStats().Faults, nil
+}
+
+// AblationPickOrder compares the paper's lowest-latency-first schedule
+// against file order and the pessimal highest-latency-first order.
+func AblationPickOrder(cfg Config) (Figure, error) {
+	cfg.validate()
+	var timePts, faultPts []Point
+	for _, order := range []sledlib.Order{sledlib.OrderLatency, sledlib.OrderLinear, sledlib.OrderReverseLatency} {
+		sec, faults, err := pickOrderScan(cfg, order)
+		if err != nil {
+			return Figure{}, err
+		}
+		timePts = append(timePts, Point{X: float64(order), Mean: sec})
+		faultPts = append(faultPts, Point{X: float64(order), Mean: float64(faults)})
+	}
+	return Figure{
+		ID:     "ablation-pickorder",
+		Title:  "warm full-file scan at 2x cache size, by pick order",
+		XLabel: "order", YLabel: "seconds / faults",
+		Series: []Series{
+			{Name: "elapsed seconds", Points: timePts},
+			{Name: "hard faults", Points: faultPts},
+		},
+		Notes: "x: 0=latency-first (paper) 1=file order 2=highest-latency-first",
+	}, nil
+}
+
+// AblationRefresh measures the Refresh extension (§4.2's "refreshing the
+// state of those SLEDs occasionally would allow the library to take
+// advantage of any changes in state"). The scenario: a 3x-cache file whose
+// tail third is cached; after the picker consumes the cheap tail, a
+// cooperating process reads the MIDDLE third into cache. The stale
+// schedule visits the head third first and its device reads evict the
+// freshly cached middle before the scan arrives; a refreshed schedule
+// reads the middle while it is still resident.
+func AblationRefresh(cfg Config) (Figure, error) {
+	cfg.validate()
+	run := func(refresh bool) (float64, error) {
+		m, err := BootMachine(cfg, ProfileUnix)
+		if err != nil {
+			return 0, err
+		}
+		third := cfg.CacheBytes()
+		size := 3 * third
+		if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
+			return 0, err
+		}
+		f, err := m.K.Open("/data/testfile")
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		// Warm pass: the tail third survives in cache.
+		io.Copy(io.Discard, f)
+
+		picker, err := sledlib.PickInit(m.K, m.Table, f, sledlib.Options{BufSize: cfg.BufSize})
+		if err != nil {
+			return 0, err
+		}
+		defer picker.Finish()
+		m.K.ResetDeviceState()
+		m.K.ResetRunStats()
+		start := m.K.Clock.Now()
+		buf := make([]byte, cfg.BufSize)
+		cheapChunks := int(third / cfg.BufSize)
+		for i := 0; ; i++ {
+			if i == cheapChunks {
+				// A cooperating process pulls the middle third into the
+				// cache; its own I/O time is excluded from the window.
+				before := m.K.Clock.Now()
+				g, _ := m.K.Open("/data/testfile")
+				mid := make([]byte, third)
+				g.ReadAt(mid, third)
+				g.Close()
+				start += m.K.Clock.Now() - before
+				if refresh {
+					if err := picker.Refresh(); err != nil {
+						return 0, err
+					}
+				}
+			}
+			off, n, err := picker.NextRead()
+			if errors.Is(err, sledlib.ErrFinished) {
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+			if _, err := f.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+				return 0, err
+			}
+		}
+		return float64(m.K.Clock.Now()-start) / float64(simclock.Second), nil
+	}
+	stale, err := run(false)
+	if err != nil {
+		return Figure{}, err
+	}
+	fresh, err := run(true)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-refresh",
+		Title:  "SLEDs scan with a mid-run cache change: stale vs refreshed schedule",
+		XLabel: "mode", YLabel: "seconds",
+		Series: []Series{{Name: "elapsed", Points: []Point{
+			{X: 0, Mean: stale}, {X: 1, Mean: fresh},
+		}}},
+		Notes: "x: 0=stale schedule (paper implementation), 1=Refresh() extension",
+	}, nil
+}
+
+// AblationMmap measures the paper's §5.2 remark that the SLEDs CPU
+// penalty on small cached files comes partly from read()'s user-space
+// copy, and that "an mmap-friendly SLEDs library is feasible, which
+// should reduce the CPU penalty": a fully cached file is scanned in pick
+// order through read() and through the mapped (no-copy) path.
+func AblationMmap(cfg Config) (Figure, error) {
+	cfg.validate()
+	run := func(mapped bool) (float64, error) {
+		m, err := BootMachine(cfg, ProfileUnix)
+		if err != nil {
+			return 0, err
+		}
+		size := cfg.CacheBytes() / 2 // comfortably cached
+		if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
+			return 0, err
+		}
+		f, err := m.K.Open("/data/testfile")
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		io.Copy(io.Discard, f) // fully cached
+
+		picker, err := sledlib.PickInit(m.K, m.Table, f, sledlib.Options{BufSize: cfg.BufSize})
+		if err != nil {
+			return 0, err
+		}
+		defer picker.Finish()
+		start := m.K.Clock.Now()
+		buf := make([]byte, cfg.BufSize)
+		for {
+			off, n, err := picker.NextRead()
+			if errors.Is(err, sledlib.ErrFinished) {
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+			if mapped {
+				_, err = f.ReadAtMapped(buf[:n], off)
+			} else {
+				_, err = f.ReadAt(buf[:n], off)
+			}
+			if err != nil && err != io.EOF {
+				return 0, err
+			}
+		}
+		return float64(m.K.Clock.Now()-start) / float64(simclock.Second), nil
+	}
+	viaRead, err := run(false)
+	if err != nil {
+		return Figure{}, err
+	}
+	viaMmap, err := run(true)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-mmap",
+		Title:  "pick-order scan of a fully cached file: read() vs mmap path",
+		XLabel: "mode", YLabel: "seconds",
+		Series: []Series{{Name: "elapsed", Points: []Point{
+			{X: 0, Mean: viaRead}, {X: 1, Mean: viaMmap},
+		}}},
+		Notes: "x: 0=read() with user copy, 1=mapped access — the copy is the CPU penalty of §5.2",
+	}, nil
+}
+
+// AblationZones measures the single-entry-per-device limitation of §4.1
+// against the zoned-table extension: a file placed on the disk's inner
+// (slow) cylinders is estimated with both tables and compared to the
+// measured cold read.
+func AblationZones(cfg Config) (Figure, error) {
+	cfg.validate()
+	m, err := BootMachine(cfg, ProfileUnix)
+	if err != nil {
+		return Figure{}, err
+	}
+	disk := m.K.Devices.Get(m.Disk)
+	// Push the test file deep into the device by reserving (not
+	// touching) most of the space before it: reservation is free.
+	filler := disk.Info().Size * 8 / 10
+	if _, err := m.K.ReserveExtent(m.Disk, filler); err != nil {
+		return Figure{}, err
+	}
+	size := cfg.Sizes[len(cfg.Sizes)/2]
+	if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
+		return Figure{}, err
+	}
+	n, err := m.K.Stat("/data/testfile")
+	if err != nil {
+		return Figure{}, err
+	}
+
+	singleEst, err := sledlib.TotalDeliveryTime(m.K, m.Table, n, core.PlanLinear)
+	if err != nil {
+		return Figure{}, err
+	}
+	zones, err := lmbench.MeasureDeviceZones(m.K.Clock, disk, 8)
+	if err != nil {
+		return Figure{}, err
+	}
+	if err := m.Table.SetDeviceZones(m.Disk, zones); err != nil {
+		return Figure{}, err
+	}
+	zonedEst, err := sledlib.TotalDeliveryTime(m.K, m.Table, n, core.PlanLinear)
+	if err != nil {
+		return Figure{}, err
+	}
+
+	f, err := m.K.Open("/data/testfile")
+	if err != nil {
+		return Figure{}, err
+	}
+	defer f.Close()
+	m.K.ResetDeviceState()
+	actual, err := elapsedSeconds(m, func() error {
+		// Stream in large requests, as the estimate's model assumes.
+		const stream = int64(256 << 10)
+		buf := make([]byte, stream)
+		for off := int64(0); off < size; off += stream {
+			nn := stream
+			if off+nn > size {
+				nn = size - off
+			}
+			if _, err := f.ReadAtMapped(buf[:nn], off); err != nil && err != io.EOF {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	errPct := func(est float64) float64 { return 100 * (est - actual) / actual }
+	return Figure{
+		ID:     "ablation-zones",
+		Title:  "delivery estimate error for an inner-cylinder file: single-entry vs zoned table",
+		XLabel: "table", YLabel: "percent error",
+		Series: []Series{{Name: "(est-actual)/actual %", Points: []Point{
+			{X: 0, Mean: errPct(singleEst)},
+			{X: 1, Mean: errPct(zonedEst)},
+		}}},
+		Notes: "x: 0=single entry (paper §4.1), 1=zoned extension ([Van97] future work)",
+	}, nil
+}
+
+// AblationReadahead measures kernel readahead's interaction with the two
+// wc modes: it narrows the SLEDs gap by cutting per-request latencies for
+// the linear reader.
+func AblationReadahead(cfg Config) (Figure, error) {
+	cfg.validate()
+	var pts []Point
+	for _, ra := range []int{0, 8} {
+		c := cfg
+		c.ReadaheadPages = ra
+		sp, err := wcWarmSpeedup(c, ablationSize(cfg))
+		if err != nil {
+			return Figure{}, err
+		}
+		pts = append(pts, Point{X: float64(ra), Mean: sp})
+	}
+	return Figure{
+		ID:     "ablation-readahead",
+		Title:  "wc warm-cache speedup at 2x cache size, by kernel readahead",
+		XLabel: "readahead pages", YLabel: "speedup",
+		Series: []Series{{Name: "without/with SLEDs", Points: pts}},
+	}, nil
+}

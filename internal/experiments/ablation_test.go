@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationMmap(t *testing.T) {
+	f, err := AblationMmap(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRead := f.Series[0].Points[0].Mean
+	viaMmap := f.Series[0].Points[1].Mean
+	if viaMmap >= viaRead {
+		t.Fatalf("mapped scan (%v) not cheaper than read() (%v)", viaMmap, viaRead)
+	}
+	// The whole gap should be roughly the memory-copy time: size/48MB/s.
+	if viaMmap > viaRead/2 {
+		t.Fatalf("mapped scan (%v) saved too little over read() (%v)", viaMmap, viaRead)
+	}
+}
+
+func TestAblationZones(t *testing.T) {
+	f, err := AblationZones(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := math.Abs(f.Series[0].Points[0].Mean)
+	zoned := math.Abs(f.Series[0].Points[1].Mean)
+	if zoned >= single {
+		t.Fatalf("zoned table error (%.1f%%) not below single-entry (%.1f%%)", zoned, single)
+	}
+	if zoned > 10 {
+		t.Fatalf("zoned estimate still off by %.1f%%", zoned)
+	}
+	if single < 5 {
+		t.Fatalf("single-entry error only %.1f%% — the inner-cylinder placement did not bite", single)
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sleds/internal/apps/findapp"
+	"sleds/internal/apps/gmcapp"
+	"sleds/internal/apps/grepapp"
+	"sleds/internal/cache"
+	"sleds/internal/core"
+	"sleds/internal/hsm"
+	"sleds/internal/workload"
+)
+
+// Fig3Trace reproduces the paper's Figure 3 as a textual trace: the cache
+// contents before, during and after two linear passes over a five-block
+// file through a three-frame LRU cache, followed by a SLEDs-ordered second
+// pass for contrast.
+func Fig3Trace() string {
+	var b strings.Builder
+	b.WriteString("== fig3: movement of data among storage levels during two linear passes ==\n")
+	b.WriteString("five-block file, three-frame LRU cache; rows are cache contents (MRU first)\n\n")
+
+	c := cache.New(3, cache.LRU, nil)
+	render := func(label string) {
+		fmt.Fprintf(&b, "%-24s [", label)
+		trace := c.RecencyTrace()
+		for i := 0; i < 3; i++ {
+			if i < len(trace) {
+				fmt.Fprintf(&b, " %d", trace[i].Page)
+			} else {
+				b.WriteString(" e")
+			}
+		}
+		b.WriteString(" ]\n")
+	}
+	access := func(p int64) (missed bool) {
+		if _, ok := c.Get(cache.Key{File: 1, Page: p}); !ok {
+			c.Insert(cache.Key{File: 1, Page: p}, nil, false)
+			return true
+		}
+		return false
+	}
+
+	render("before first pass")
+	misses := 0
+	for p := int64(1); p <= 5; p++ {
+		if access(p) {
+			misses++
+		}
+	}
+	render("after first pass")
+	fmt.Fprintf(&b, "%-24s %d of 5 blocks fetched\n\n", "first pass:", misses)
+
+	misses = 0
+	for p := int64(1); p <= 5; p++ {
+		if access(p) {
+			misses++
+		}
+	}
+	render("after second linear pass")
+	fmt.Fprintf(&b, "%-24s %d of 5 blocks fetched (no reuse: the Figure 3 pathology)\n\n", "second pass:", misses)
+
+	// Rebuild the post-first-pass state, then run the SLEDs order.
+	c = cache.New(3, cache.LRU, nil)
+	for p := int64(1); p <= 5; p++ {
+		access(p)
+	}
+	misses = 0
+	for _, p := range []int64{3, 4, 5, 1, 2} {
+		if access(p) {
+			misses++
+		}
+	}
+	render("after SLEDs-ordered pass")
+	fmt.Fprintf(&b, "%-24s %d of 5 blocks fetched (cached tail read first)\n", "SLEDs pass:", misses)
+	return b.String()
+}
+
+// FindReport is the E-FIND experiment's product.
+type FindReport struct {
+	Cheap     []findapp.Result // -latency under the threshold
+	Expensive []findapp.Result // -latency over the threshold
+	Threshold string
+	Figure    Figure
+}
+
+// EFind demonstrates §5.2's find -latency pruning on a tree spanning
+// disk, NFS and tape, with one file warmed into RAM: the cheap set must
+// be exactly the cached file, and the expensive set must include all
+// tape-resident data.
+func EFind(cfg Config) (FindReport, error) {
+	cfg.validate()
+	m, err := BootMachine(cfg, ProfileUnix)
+	if err != nil {
+		return FindReport{}, err
+	}
+	size := cfg.Sizes[0]
+	for _, dir := range []string{"/data/src", "/data/archive"} {
+		if err := m.K.MkdirAll(dir); err != nil {
+			return FindReport{}, err
+		}
+	}
+	mk := func(path, fs string, seed uint64) error {
+		dev, err := m.DeviceByName(fs)
+		if err != nil {
+			return err
+		}
+		_, err = m.K.Create(path, dev, workload.NewText(seed, size, cfg.PageSize))
+		return err
+	}
+	files := []struct {
+		path, fs string
+	}{
+		{"/data/src/hot.c", "ext2"},
+		{"/data/src/cold.c", "ext2"},
+		{"/data/src/remote.c", "nfs"},
+		{"/data/archive/run1.dat", "tape"},
+		{"/data/archive/run2.dat", "tape"},
+	}
+	for i, f := range files {
+		if err := mk(f.path, f.fs, uint64(cfg.Seed)+uint64(i)); err != nil {
+			return FindReport{}, err
+		}
+	}
+	// Warm hot.c fully into RAM.
+	hot, err := m.K.Open("/data/src/hot.c")
+	if err != nil {
+		return FindReport{}, err
+	}
+	buf := make([]byte, size)
+	hot.ReadAt(buf, 0)
+	hot.Close()
+
+	// Threshold: midway between the estimated delivery time of a fully
+	// cached file of this size and of a disk-resident one, so the split
+	// is scale-independent.
+	memE, _ := m.Table.Memory()
+	diskE, _ := m.Table.Device(m.Disk)
+	cachedEst := memE.Latency + float64(size)/memE.Bandwidth
+	diskEst := diskE.Latency + float64(size)/diskE.Bandwidth
+	thresholdSec := (cachedEst + diskEst) / 2
+	threshold := fmt.Sprintf("under %.3gs", thresholdSec)
+	cheapPred := findapp.LatencyPred{Op: findapp.OpLess, Seconds: thresholdSec, Unit: 1}
+	expensivePred := findapp.LatencyPred{Op: findapp.OpMore, Seconds: thresholdSec, Unit: 1}
+	env := m.Env(true, cfg.BufSize)
+	cheap, err := findapp.Run(env, "/data", findapp.Options{Latency: &cheapPred, Plan: core.PlanLinear, FilesOnly: true})
+	if err != nil {
+		return FindReport{}, err
+	}
+	expensive, err := findapp.Run(env, "/data", findapp.Options{Latency: &expensivePred, Plan: core.PlanLinear, FilesOnly: true})
+	if err != nil {
+		return FindReport{}, err
+	}
+
+	fig := Figure{
+		ID: "efind", Title: "find -latency pruning across disk, NFS and tape",
+		XLabel: "file", YLabel: "estimated delivery seconds",
+	}
+	var pts []Point
+	for i, r := range expensive {
+		pts = append(pts, Point{X: float64(i), Mean: r.Seconds})
+	}
+	fig.Series = []Series{{Name: "estimated delivery (expensive set)", Points: pts}}
+	return FindReport{Cheap: cheap, Expensive: expensive, Threshold: threshold, Figure: fig}, nil
+}
+
+// EGmc produces the gmc properties panel for a half-cached file — the
+// report-latency use of SLEDs (§3.3, Figure 6).
+func EGmc(cfg Config) (gmcapp.Report, error) {
+	cfg.validate()
+	m, err := BootMachine(cfg, ProfileUnix)
+	if err != nil {
+		return gmcapp.Report{}, err
+	}
+	size := cfg.Sizes[len(cfg.Sizes)/2]
+	if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
+		return gmcapp.Report{}, err
+	}
+	f, err := m.K.Open("/data/testfile")
+	if err != nil {
+		return gmcapp.Report{}, err
+	}
+	defer f.Close()
+	// Read the second half so its pages are resident.
+	buf := make([]byte, size/2)
+	f.ReadAt(buf, size/2)
+	return gmcapp.Properties(m.Env(true, cfg.BufSize), "/data/testfile")
+}
+
+// EHSMResult carries the HSM extension experiment's measurements.
+type EHSMResult struct {
+	WithoutSeconds float64
+	WithSeconds    float64
+	Speedup        float64
+	Figure         Figure
+}
+
+// EHSM measures the paper's prediction that SLEDs gains are much larger
+// on hierarchical storage: grep -q over a tape-resident file whose tail
+// has been staged to disk and partially cached in RAM. Without SLEDs the
+// search reads linearly from the tape head; with SLEDs it reads the
+// RAM/disk-staged tail first and finds the match without touching tape.
+func EHSM(cfg Config) (EHSMResult, error) {
+	cfg.validate()
+	size := cfg.Sizes[len(cfg.Sizes)/2-1]
+
+	run := func(useSLEDs bool) (float64, error) {
+		m, err := BootMachine(cfg, ProfileUnix)
+		if err != nil {
+			return 0, err
+		}
+		stageBlock := int64(cfg.PageSize) * 16
+		if _, err := hsm.New(m.K, hsm.Config{
+			Tape:      m.Tape,
+			Disk:      m.Disk,
+			BlockSize: stageBlock,
+			Capacity:  size, // stage can hold the whole file
+		}); err != nil {
+			return 0, err
+		}
+		c, err := textFileOn(m, "tape", uint64(cfg.Seed), size, cfg.PageSize)
+		if err != nil {
+			return 0, err
+		}
+		// The match sits in the tail, which a previous consumer staged.
+		workload.PlantMatch(c, size-size/4, needleBase)
+		f, err := m.K.Open("/data/testfile")
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, size/2)
+		f.ReadAt(buf, size/2) // stage + cache the tail
+		f.Close()
+		m.K.ResetDeviceState()
+
+		env := m.Env(useSLEDs, cfg.BufSize)
+		return elapsedSeconds(m, func() error {
+			got, err := grepapp.Run(env, "/data/testfile", needleBase, grepapp.Options{FirstOnly: true})
+			if err != nil {
+				return err
+			}
+			if len(got) != 1 {
+				return fmt.Errorf("EHSM: found %d matches", len(got))
+			}
+			return nil
+		})
+	}
+
+	without, err := run(false)
+	if err != nil {
+		return EHSMResult{}, err
+	}
+	with, err := run(true)
+	if err != nil {
+		return EHSMResult{}, err
+	}
+	res := EHSMResult{WithoutSeconds: without, WithSeconds: with, Speedup: without / with}
+	res.Figure = Figure{
+		ID: "ehsm", Title: "grep -q on a tape-resident file with a staged tail (HSM extension)",
+		XLabel: "mode", YLabel: "seconds",
+		Series: []Series{
+			{Name: "elapsed", Points: []Point{
+				{X: 0, Mean: without},
+				{X: 1, Mean: with},
+			}},
+		},
+		Notes: fmt.Sprintf("x=0 without SLEDs, x=1 with SLEDs; speedup %.0fx — the HSM regime the paper predicts", res.Speedup),
+	}
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEHints(t *testing.T) {
+	f, err := EHints(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := f.Series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("want 4 strategies, got %d", len(pts))
+	}
+	plain, hinted, sleds, both := pts[0].Mean, pts[1].Mean, pts[2].Mean, pts[3].Mean
+
+	// Hints overlap I/O with compute: faster than plain.
+	if hinted >= plain {
+		t.Errorf("hints (%v) not faster than plain (%v)", hinted, plain)
+	}
+	// SLEDs exploit leftover cache state: also faster than plain, and on
+	// this warm-cache workload better than hints alone (hints still read
+	// the whole file from disk).
+	if sleds >= plain {
+		t.Errorf("sleds (%v) not faster than plain (%v)", sleds, plain)
+	}
+	if sleds >= hinted {
+		t.Errorf("sleds (%v) not faster than hints alone (%v) on a warm cache", sleds, hinted)
+	}
+	// The flows are complementary: combining them wins overall.
+	if both >= sleds {
+		t.Errorf("sleds+hints (%v) not faster than sleds alone (%v)", both, sleds)
+	}
+	if both >= plain || both >= hinted {
+		t.Errorf("combined (%v) not the fastest: plain %v hints %v sleds %v", both, plain, hinted, sleds)
+	}
+}
+
+func TestETreeGrep(t *testing.T) {
+	f, err := ETreeGrep(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := f.Series[0].Points
+	faults := f.Series[1].Points
+	nameT, setsT, sledsT := times[0].Mean, times[1].Mean, times[2].Mean
+	nameF, setsF, sledsF := faults[0].Mean, faults[1].Mean, faults[2].Mean
+
+	// File-set ordering (cached files first) beats name order.
+	if setsT >= nameT || setsF >= nameF {
+		t.Errorf("file sets (%.3gs/%v faults) not better than name order (%.3gs/%v)",
+			setsT, setsF, nameT, nameF)
+	}
+	// Full SLEDs additionally exploit the half-cached file: at least as
+	// good as file sets on faults, and strictly better than name order.
+	if sledsF > setsF {
+		t.Errorf("full SLEDs faults (%v) above file sets (%v)", sledsF, setsF)
+	}
+	if sledsT >= nameT {
+		t.Errorf("full SLEDs (%v) not faster than name order (%v)", sledsT, nameT)
+	}
+}
+
+func TestEAccuracy(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = cfg.Sizes[:4] // accuracy needs only a few points
+	f, err := EAccuracy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("want 3 device series")
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if math.Abs(p.Mean) > 35 {
+				t.Errorf("%s estimate off by %.1f%% at %.3g MB — the single-entry table should do better",
+					s.Name, p.Mean, p.X)
+			}
+		}
+	}
+}
+
+func TestERemote(t *testing.T) {
+	r, err := ERemote(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SLEDs client reads the server-cached tail first and finds the
+	// match there; the flat client drags the head off the server's disk.
+	if r.Speedup < 2 {
+		t.Errorf("remote speedup %v, want >= 2", r.Speedup)
+	}
+	if r.WithSeconds >= r.WithoutSeconds {
+		t.Errorf("with (%v) not below without (%v)", r.WithSeconds, r.WithoutSeconds)
+	}
+}

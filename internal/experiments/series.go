@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sleds/internal/stats"
+)
+
+// Point is one plotted value: X in the figure's x units (file size in MB
+// for most figures), with the sample mean and 90% CI of the measurement.
+type Point struct {
+	X    float64
+	Mean float64
+	CI90 float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Means extracts the mean values (for speedup ratios).
+func (s Series) Means() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Mean
+	}
+	return out
+}
+
+// Figure is one regenerated table or plot.
+type Figure struct {
+	ID     string // "fig7", "table2", ...
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries per-figure commentary (paper-vs-measured remarks).
+	Notes string
+}
+
+// Render draws the figure as an aligned text table, series as columns.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %24s", s.Name)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].Points {
+			fmt.Fprintf(&b, "%-10.4g", f.Series[0].Points[i].X)
+			for _, s := range f.Series {
+				p := s.Points[i]
+				if p.CI90 > 0 {
+					fmt.Fprintf(&b, " %15.4g ± %6.2g", p.Mean, p.CI90)
+				} else {
+					fmt.Fprintf(&b, " %24.4g", p.Mean)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", f.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values for external plotting:
+// a header row, then one row per x with each series' mean and 90% CI.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		name := strings.ReplaceAll(s.Name, ",", ";")
+		fmt.Fprintf(&b, ",%s,%s ci90", name, name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%g,%g", s.Points[i].Mean, s.Points[i].CI90)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// pointFrom converts a sample summary to a Point at x.
+func pointFrom(x float64, s stats.Summary) Point {
+	return Point{X: x, Mean: s.Mean, CI90: s.CI90}
+}
+
+// ratioSeries builds the speedup series base/improved, pointwise on means
+// (the paper's Figures 8 and 12 divide the two mean curves).
+func ratioSeries(name string, base, improved Series) Series {
+	ratios := stats.Speedup(base.Means(), improved.Means())
+	pts := make([]Point, len(ratios))
+	for i, r := range ratios {
+		pts[i] = Point{X: base.Points[i].X, Mean: r}
+	}
+	return Series{Name: name, Points: pts}
+}
+
+// mbOf converts a byte count to the MB x-axis unit.
+func mbOf(n int64) float64 { return float64(n) / float64(MB) }

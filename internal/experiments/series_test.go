@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sleds/internal/stats"
+)
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		ID: "test", Title: "a title", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Mean: 2, CI90: 0.1}, {X: 2, Mean: 3}}},
+			{Name: "b", Points: []Point{{X: 1, Mean: 5}, {X: 2, Mean: 7, CI90: 0.2}}},
+		},
+		Notes: "remark",
+	}
+	out := f.Render()
+	for _, want := range []string{"test", "a title", "±", "remark", "(y)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Fatalf("render has %d lines, want 5", got)
+	}
+}
+
+func TestRatioSeries(t *testing.T) {
+	base := Series{Name: "base", Points: []Point{{X: 1, Mean: 10}, {X: 2, Mean: 20}}}
+	improved := Series{Name: "imp", Points: []Point{{X: 1, Mean: 2}, {X: 2, Mean: 5}}}
+	r := ratioSeries("ratio", base, improved)
+	if r.Points[0].Mean != 5 || r.Points[1].Mean != 4 {
+		t.Fatalf("ratio = %v", r.Points)
+	}
+	if r.Points[0].X != 1 || r.Points[1].X != 2 {
+		t.Fatalf("ratio X wrong: %v", r.Points)
+	}
+}
+
+func TestPointFrom(t *testing.T) {
+	var s stats.Sample
+	s.Add(1)
+	s.Add(3)
+	p := pointFrom(7, s.Summarize())
+	if p.X != 7 || p.Mean != 2 {
+		t.Fatalf("pointFrom = %+v", p)
+	}
+}
+
+func TestMBOf(t *testing.T) {
+	if mbOf(MB) != 1 || mbOf(MB/2) != 0.5 {
+		t.Fatalf("mbOf wrong")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{
+		XLabel: "size MB",
+		Series: []Series{
+			{Name: "with, SLEDs", Points: []Point{{X: 8, Mean: 1.5, CI90: 0.1}}},
+			{Name: "without", Points: []Point{{X: 8, Mean: 3.25}}},
+		},
+	}
+	got := f.CSV()
+	want := "size MB,with; SLEDs,with; SLEDs ci90,without,without ci90\n8,1.5,0.1,3.25,0\n"
+	if got != want {
+		t.Fatalf("CSV:\n got %q\nwant %q", got, want)
+	}
+	if empty := (Figure{XLabel: "x"}).CSV(); empty != "x\n" {
+		t.Fatalf("empty CSV = %q", empty)
+	}
+}

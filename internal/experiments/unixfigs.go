@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sleds/internal/apps/grepapp"
+	"sleds/internal/apps/wcapp"
+	"sleds/internal/simclock"
+	"sleds/internal/stats"
+	"sleds/internal/workload"
+)
+
+// needleBase is the grep pattern stem; the text generator's lexicon never
+// produces it, so planted matches are the only matches.
+const needleBase = "xyzzy"
+
+// textFileOn creates the test file for one experiment point.
+func textFileOn(m *Machine, fs string, seed uint64, size int64, pageSize int) (*workload.Content, error) {
+	dev, err := m.DeviceByName(fs)
+	if err != nil {
+		return nil, err
+	}
+	c := workload.NewText(seed, size, pageSize)
+	if _, err := m.K.Create("/data/testfile", dev, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// wcSweep runs wc across cfg.Sizes on the named file system, in both
+// modes, returning elapsed-time and fault series.
+func wcSweep(cfg Config, fs string) (timeWithout, timeWith, faultsWithout, faultsWith Series, err error) {
+	cfg.validate()
+	timeWithout = Series{Name: "without SLEDs"}
+	timeWith = Series{Name: "with SLEDs"}
+	faultsWithout = Series{Name: "without SLEDs"}
+	faultsWith = Series{Name: "with SLEDs"}
+
+	for _, size := range cfg.Sizes {
+		for _, useSLEDs := range []bool{false, true} {
+			m, err := BootMachine(cfg, ProfileUnix)
+			if err != nil {
+				return timeWithout, timeWith, faultsWithout, faultsWith, err
+			}
+			if _, err := textFileOn(m, fs, uint64(cfg.Seed)+uint64(size), size, cfg.PageSize); err != nil {
+				return timeWithout, timeWith, faultsWithout, faultsWith, err
+			}
+			env := m.Env(useSLEDs, cfg.BufSize)
+			elapsed, faults, err := measured(cfg, m, func(int) error {
+				_, err := wcapp.Run(env, "/data/testfile")
+				return err
+			})
+			if err != nil {
+				return timeWithout, timeWith, faultsWithout, faultsWith, err
+			}
+			x := mbOf(size)
+			tp := pointFrom(x, elapsed.Summarize())
+			fp := pointFrom(x, faults.Summarize())
+			if useSLEDs {
+				timeWith.Points = append(timeWith.Points, tp)
+				faultsWith.Points = append(faultsWith.Points, fp)
+			} else {
+				timeWithout.Points = append(timeWithout.Points, tp)
+				faultsWithout.Points = append(faultsWithout.Points, fp)
+			}
+		}
+	}
+	return timeWithout, timeWith, faultsWithout, faultsWith, nil
+}
+
+// Fig7And8 regenerates Figure 7 (wc execution time over NFS, with and
+// without SLEDs, warm cache) and Figure 8 (the speedup ratio of the two
+// curves).
+func Fig7And8(cfg Config) (Figure, Figure, error) {
+	without, with, _, _, err := wcSweep(cfg, "nfs")
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	f7 := Figure{
+		ID: "fig7", Title: "wc times over NFS, with and without SLEDs, warm cache",
+		XLabel: "size MB", YLabel: "seconds",
+		Series: []Series{with, without},
+	}
+	f8 := Figure{
+		ID: "fig8", Title: "wc time ratio (speedup) over NFS",
+		XLabel: "size MB", YLabel: "improvement ratio",
+		Series: []Series{ratioSeries("without/with", without, with)},
+	}
+	return f7, f8, nil
+}
+
+// Fig9 regenerates Figure 9: wc page faults on CD-ROM, with and without
+// SLEDs, warm cache.
+func Fig9(cfg Config) (Figure, error) {
+	_, _, faultsWithout, faultsWith, err := wcSweep(cfg, "cdrom")
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig9", Title: "wc page faults on CD-ROM, with and without SLEDs, warm cache",
+		XLabel: "size MB", YLabel: "page faults",
+		Series: []Series{faultsWith, faultsWithout},
+	}, nil
+}
+
+// Fig10 regenerates Figure 10: grep for all matches on CD-ROM, with and
+// without SLEDs. Matches are sparse (one planted line per ~MB: "kilobytes
+// out of megabytes"), so output buffering stays small.
+func Fig10(cfg Config) (Figure, error) {
+	cfg.validate()
+	without := Series{Name: "without SLEDs"}
+	with := Series{Name: "with SLEDs"}
+	for _, size := range cfg.Sizes {
+		for _, useSLEDs := range []bool{false, true} {
+			m, err := BootMachine(cfg, ProfileUnix)
+			if err != nil {
+				return Figure{}, err
+			}
+			c, err := textFileOn(m, "cdrom", uint64(cfg.Seed)+uint64(size), size, cfg.PageSize)
+			if err != nil {
+				return Figure{}, err
+			}
+			// One planted match per cache-quarter of file, spread evenly.
+			step := cfg.CacheBytes() / 4
+			rng := uint64(cfg.Seed) * 0x9e3779b97f4a7c15
+			for off := step / 2; off < size; off += step {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				workload.PlantMatch(c, off+int64(rng%4096), needleBase)
+			}
+			env := m.Env(useSLEDs, cfg.BufSize)
+			elapsed, _, err := measured(cfg, m, func(int) error {
+				_, err := grepapp.Run(env, "/data/testfile", needleBase, grepapp.Options{})
+				return err
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			p := pointFrom(mbOf(size), elapsed.Summarize())
+			if useSLEDs {
+				with.Points = append(with.Points, p)
+			} else {
+				without.Points = append(without.Points, p)
+			}
+		}
+	}
+	return Figure{
+		ID: "fig10", Title: "grep for all matches on CD-ROM, with and without SLEDs, warm cache",
+		XLabel: "size MB", YLabel: "seconds",
+		Series: []Series{with, without},
+		Notes:  "small-file region shows the SLEDs CPU overhead; large files save the cache-fill time",
+	}, nil
+}
+
+// grepFirstPoint measures grep -q at one size in one mode: each run
+// searches for a distinct needle planted at a per-run pseudo-random
+// offset, so the match position varies across runs exactly as in the
+// paper ("a single match that was placed randomly in the test file").
+func grepFirstPoint(cfg Config, fs string, size int64, useSLEDs bool, runs int) (*stats.Sample, error) {
+	m, err := BootMachine(cfg, ProfileUnix)
+	if err != nil {
+		return nil, err
+	}
+	c, err := textFileOn(m, fs, uint64(cfg.Seed)+uint64(size), size, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	// Plant one distinct needle per run (plus one for the warm-up).
+	rng := uint64(cfg.Seed)*6364136223846793005 + uint64(size)
+	needles := make([]string, runs+1)
+	for i := range needles {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		pos := int64(rng>>11) % size
+		needles[i] = fmt.Sprintf("%s%03d", needleBase, i)
+		workload.PlantMatch(c, pos, needles[i])
+	}
+
+	env := m.Env(useSLEDs, cfg.BufSize)
+	elapsed := &stats.Sample{}
+	runCfg := cfg
+	runCfg.Runs = runs
+	sample, _, err := measured(runCfg, m, func(run int) error {
+		needle := needles[run+1]
+		got, err := grepapp.Run(env, "/data/testfile", needle, grepapp.Options{FirstOnly: true})
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 {
+			return fmt.Errorf("grep -q found %d matches for %q", len(got), needle)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	*elapsed = *sample
+	return elapsed, nil
+}
+
+// Fig11And12 regenerates Figure 11 (grep for one match on ext2, with and
+// without SLEDs) and Figure 12 (the speedup ratio).
+func Fig11And12(cfg Config) (Figure, Figure, error) {
+	cfg.validate()
+	without := Series{Name: "without SLEDs"}
+	with := Series{Name: "with SLEDs"}
+	for _, size := range cfg.Sizes {
+		for _, useSLEDs := range []bool{false, true} {
+			s, err := grepFirstPoint(cfg, "ext2", size, useSLEDs, cfg.Runs)
+			if err != nil {
+				return Figure{}, Figure{}, err
+			}
+			p := pointFrom(mbOf(size), s.Summarize())
+			if useSLEDs {
+				with.Points = append(with.Points, p)
+			} else {
+				without.Points = append(without.Points, p)
+			}
+		}
+	}
+	f11 := Figure{
+		ID: "fig11", Title: "grep for one match on ext2, with and without SLEDs, warm cache",
+		XLabel: "size MB", YLabel: "seconds",
+		Series: []Series{with, without},
+		Notes:  "large error bars without SLEDs reflect cache-position luck, as in the paper",
+	}
+	f12 := Figure{
+		ID: "fig12", Title: "grep one-match speedup on ext2",
+		XLabel: "size MB", YLabel: "improvement ratio",
+		Series: []Series{ratioSeries("without/with", without, with)},
+	}
+	return f11, f12, nil
+}
+
+// Fig13 regenerates Figure 13: the CDF of grep -q execution time over NFS
+// for the mid-sweep file size (the paper's 64 MB point on the full-scale
+// sweep).
+func Fig13(cfg Config) (Figure, error) {
+	cfg.validate()
+	size := cfg.Sizes[len(cfg.Sizes)/2-1]
+	runs := cfg.CDFRuns
+	if runs <= 0 {
+		runs = cfg.Runs
+	}
+	var series []Series
+	for _, useSLEDs := range []bool{true, false} {
+		s, err := grepFirstPoint(cfg, "nfs", size, useSLEDs, runs)
+		if err != nil {
+			return Figure{}, err
+		}
+		cdf := stats.NewCDF(s.Values())
+		name := "without SLEDs"
+		if useSLEDs {
+			name = "with SLEDs"
+		}
+		// Rendered as the inverse CDF: x is the fraction of runs, the
+		// value is the elapsed seconds at that quantile, so both modes
+		// share the x axis (the paper's Figure 13 plots the transpose).
+		var pts []Point
+		for _, xy := range cdf.Points() {
+			pts = append(pts, Point{X: xy[1], Mean: xy[0]})
+		}
+		series = append(series, Series{Name: name, Points: pts})
+	}
+	return Figure{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("CDF of grep -q execution time, NFS, %.4g MB file, warm cache", mbOf(size)),
+		XLabel: "fraction", YLabel: "seconds at quantile",
+		Series: series,
+	}, nil
+}
+
+// elapsedSeconds is a tiny helper for ad-hoc one-shot timings.
+func elapsedSeconds(m *Machine, fn func() error) (float64, error) {
+	start := m.K.Clock.Now()
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	return float64(m.K.Clock.Now()-start) / float64(simclock.Second), nil
+}

@@ -1,0 +1,74 @@
+package fits
+
+import (
+	"fmt"
+
+	"sleds/internal/workload"
+)
+
+// PixelValue is the deterministic synthetic pixel function: a smooth
+// gradient (astronomical flat-field) plus hash noise and occasional bright
+// "stars", all derived from (seed, pixel index). Values stay within a
+// 12-bit range like real instrument data.
+func PixelValue(seed uint64, idx int64) int16 {
+	h := seed ^ uint64(idx)*0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	base := int64(200) + (idx/64)%512 // slow gradient
+	noise := int64(h % 128)
+	v := base + noise
+	if h%997 == 0 { // sparse bright sources
+		v += 2048
+	}
+	if v > 4095 {
+		v = 4095
+	}
+	return int16(v)
+}
+
+// Gen returns a workload.PageGen producing the bytes of a synthetic FITS
+// file for the given image geometry: encoded header, then PixelValue
+// pixels, then zero padding. pageSize must be even so pixels never split
+// across pages (the VM page size always is).
+func Gen(im Image, seed uint64, pageSize int) workload.PageGen {
+	if pageSize%2 != 0 {
+		panic(fmt.Sprintf("fits: odd page size %d", pageSize))
+	}
+	if im.BitPix != 16 {
+		panic(fmt.Sprintf("fits: generator only supports BITPIX 16, got %d", im.BitPix))
+	}
+	if im.DataOffset%2 != 0 {
+		panic(fmt.Sprintf("fits: odd data offset %d", im.DataOffset))
+	}
+	header := EncodeHeader(HeaderFor(im.Width, im.Height, im.BitPix))
+	return func(page int64, buf []byte) {
+		pageStart := page * int64(pageSize)
+		for i := range buf {
+			buf[i] = 0
+		}
+		// Header portion.
+		if pageStart < int64(len(header)) {
+			copy(buf, header[pageStart:])
+		}
+		// Pixel portion.
+		dataEnd := im.DataOffset + im.DataBytes
+		start := pageStart
+		if start < im.DataOffset {
+			start = im.DataOffset
+		}
+		end := pageStart + int64(pageSize)
+		if end > dataEnd {
+			end = dataEnd
+		}
+		for off := start; off < end; off += 2 {
+			idx := (off - im.DataOffset) / 2
+			PutPixel16(buf[off-pageStart:off-pageStart+2], PixelValue(seed, idx))
+		}
+	}
+}
+
+// NewContent builds workload content holding a synthetic FITS image.
+func NewContent(im Image, seed uint64, pageSize int) *workload.Content {
+	return workload.New(im.FileSize(), pageSize, Gen(im, seed, pageSize))
+}

@@ -1,0 +1,58 @@
+// Package hints implements the counterpart the paper contrasts SLEDs with
+// in Figure 1: the application -> system advisory flow of informed
+// prefetching (Patterson et al.'s TIP, §2 of the paper).
+//
+// Hints let the system overlap I/O with computation and prefetch ahead of
+// a disclosed access pattern, but — the paper's point — they "cannot be
+// used across program invocations, or take advantage of state left behind
+// by previous applications", because information only flows down the
+// stack. SLEDs flow the other way. The E-HINTS experiment measures both,
+// separately and combined, on the same workload.
+//
+// The Adviser is deliberately TIP-shaped: the application discloses
+// byte-range accesses it will perform (WillNeed), the kernel schedules
+// asynchronous prefetch on the device's background timeline, and the
+// application releases ranges it is done with (DontNeed).
+package hints
+
+import (
+	"sleds/internal/vfs"
+)
+
+// Adviser issues access hints for files on a simulated kernel.
+type Adviser struct {
+	k *vfs.Kernel
+}
+
+// New returns an adviser for the kernel.
+func New(k *vfs.Kernel) *Adviser { return &Adviser{k: k} }
+
+// WillNeed discloses that [off, off+length) of the file will be read
+// soon; the kernel schedules asynchronous prefetch for the absent pages.
+func (a *Adviser) WillNeed(f *vfs.File, off, length int64) {
+	if length <= 0 || off < 0 {
+		return
+	}
+	ps := int64(a.k.PageSize())
+	first := off / ps
+	last := (off + length - 1) / ps
+	a.k.Prefetch(f.Inode(), first, last-first+1)
+}
+
+// DontNeed discloses that [off, off+length) will not be reused; the
+// kernel may drop the pages immediately, freeing frames for data that
+// will be (the reuse-disclosure half of application-controlled caching).
+func (a *Adviser) DontNeed(f *vfs.File, off, length int64) {
+	if length <= 0 || off < 0 {
+		return
+	}
+	ps := int64(a.k.PageSize())
+	first := off / ps
+	last := (off + length - 1) / ps
+	a.k.InvalidateRange(f.Inode(), first, last-first+1)
+}
+
+// Depth is the conventional prefetch pipeline depth used by the hinting
+// read loops in the experiments: how many upcoming chunks a reader
+// discloses ahead of its current position.
+const Depth = 8

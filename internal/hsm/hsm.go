@@ -1,0 +1,199 @@
+// Package hsm implements a migrating hierarchical storage manager: files
+// live on a tape library and are staged, block by block, onto a disk
+// migration cache as they are read — "analogous to movement between disk
+// and RAM in conventional file systems" (paper §1).
+//
+// The paper motivates SLEDs largely with HSM ("SLEDs are expected to
+// benefit hierarchical storage management systems, with their very high
+// latencies, more than other types of file systems") but evaluates only
+// disk-backed file systems; it cites the then-beginning Linux migration
+// file system [Sch00] as the platform for future work. This package is
+// that future work, built so the E-HSM experiment can measure the
+// prediction.
+//
+// The stager plugs into the simulated kernel via vfs.Kernel.SetStager: RAM
+// page-cache misses on tape-resident files flow through Fetch, which
+// serves staged blocks from disk and migrates unstaged ones tape -> disk
+// (charging both the tape read and the disk write). Staging capacity is
+// bounded; blocks are evicted LRU, with tape as the authority (staging is
+// read-only, so eviction is free).
+package hsm
+
+import (
+	"container/list"
+	"fmt"
+
+	"sleds/internal/device"
+	"sleds/internal/vfs"
+)
+
+// Config parameterises the stager.
+type Config struct {
+	// Tape is the backing tape library; files managed by the stager live
+	// on it.
+	Tape device.ID
+	// Disk is the device holding the migration cache.
+	Disk device.ID
+	// BlockSize is the migration granularity (whole multiples of the VM
+	// page size; 1 MiB is typical).
+	BlockSize int64
+	// Capacity is the total bytes of disk given to the migration cache.
+	Capacity int64
+}
+
+// blockKey identifies one staged block of one file.
+type blockKey struct {
+	ino   vfs.Ino
+	block int64 // index of BlockSize units within the file's tape extent
+}
+
+// stagedBlock is a resident migration-cache block.
+type stagedBlock struct {
+	key     blockKey
+	diskOff int64 // where in the migration area the block lives
+}
+
+// Stager is the migrating HSM layer.
+type Stager struct {
+	k   *vfs.Kernel
+	cfg Config
+
+	areaStart int64 // disk offset of the migration area
+	slots     int   // total block slots
+	freeSlots []int64
+
+	lru   *list.List // *stagedBlock, front = most recently used
+	index map[blockKey]*list.Element
+
+	// counters for the experiments
+	stagedReads  int64
+	tapeMigrates int64
+	evictions    int64
+}
+
+// New reserves the migration area on the disk and returns the stager,
+// already registered with the kernel for files on cfg.Tape.
+func New(k *vfs.Kernel, cfg Config) (*Stager, error) {
+	ps := int64(k.PageSize())
+	if cfg.BlockSize <= 0 || cfg.BlockSize%ps != 0 {
+		return nil, fmt.Errorf("hsm: block size %d not a positive multiple of the page size", cfg.BlockSize)
+	}
+	if cfg.Capacity < cfg.BlockSize {
+		return nil, fmt.Errorf("hsm: capacity %d below one block", cfg.Capacity)
+	}
+	slots := int(cfg.Capacity / cfg.BlockSize)
+	area, err := k.ReserveExtent(cfg.Disk, int64(slots)*cfg.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("hsm: reserving migration area: %w", err)
+	}
+	s := &Stager{
+		k:         k,
+		cfg:       cfg,
+		areaStart: area,
+		slots:     slots,
+		lru:       list.New(),
+		index:     make(map[blockKey]*list.Element),
+	}
+	for i := 0; i < slots; i++ {
+		s.freeSlots = append(s.freeSlots, area+int64(i)*cfg.BlockSize)
+	}
+	k.SetStager(s, cfg.Tape)
+	return s, nil
+}
+
+// Stats reports activity counters: blocks served from the disk stage,
+// blocks migrated from tape, and stage evictions.
+func (s *Stager) Stats() (stagedReads, tapeMigrates, evictions int64) {
+	return s.stagedReads, s.tapeMigrates, s.evictions
+}
+
+// ResetStats zeroes the counters.
+func (s *Stager) ResetStats() { s.stagedReads, s.tapeMigrates, s.evictions = 0, 0, 0 }
+
+// StagedBlocks reports how many blocks are currently resident on disk.
+func (s *Stager) StagedBlocks() int { return s.lru.Len() }
+
+// IsStaged reports whether the block containing devOff of the inode is in
+// the migration cache (without touching recency).
+func (s *Stager) IsStaged(ino *vfs.Inode, devOff int64) bool {
+	_, ok := s.index[s.keyFor(ino, devOff)]
+	return ok
+}
+
+func (s *Stager) keyFor(ino *vfs.Inode, devOff int64) blockKey {
+	return blockKey{ino: ino.Ino(), block: (devOff - ino.Extent()) / s.cfg.BlockSize}
+}
+
+// DeviceFor implements vfs.Stager.
+func (s *Stager) DeviceFor(ino *vfs.Inode, devOff int64) device.ID {
+	if s.IsStaged(ino, devOff) {
+		return s.cfg.Disk
+	}
+	return s.cfg.Tape
+}
+
+// Fetch implements vfs.Stager: serve each touched block from the disk
+// stage, migrating it from tape first if needed.
+func (s *Stager) Fetch(ino *vfs.Inode, devOff, length int64) {
+	if length <= 0 {
+		return
+	}
+	disk := s.k.Devices.Get(s.cfg.Disk)
+	tape := s.k.Devices.Get(s.cfg.Tape)
+
+	end := devOff + length
+	for off := devOff; off < end; {
+		key := s.keyFor(ino, off)
+		blockStart := ino.Extent() + key.block*s.cfg.BlockSize
+		blockEnd := blockStart + s.cfg.BlockSize
+		// Clamp the block to the file's tape extent end is unnecessary:
+		// reads never extend past the file, and staging a ragged tail
+		// block just stages fewer meaningful bytes.
+		readEnd := end
+		if readEnd > blockEnd {
+			readEnd = blockEnd
+		}
+
+		if e, ok := s.index[key]; ok {
+			// Staged: read the needed range from the migration area.
+			b := e.Value.(*stagedBlock)
+			disk.Read(s.k.Clock, b.diskOff+(off-blockStart), readEnd-off)
+			s.lru.MoveToFront(e)
+			s.stagedReads++
+		} else {
+			// Migrate the whole block from tape, then it is in the disk
+			// cache (the migration write itself makes the bytes
+			// available; no extra disk read is charged).
+			slot := s.takeSlot()
+			migrateLen := s.cfg.BlockSize
+			if blockEnd > ino.Extent()+ino.Size() {
+				// Ragged final block: only the file's bytes exist.
+				migrateLen = ino.Extent() + ino.Size() - blockStart
+			}
+			tape.Read(s.k.Clock, blockStart, migrateLen)
+			disk.Write(s.k.Clock, slot, migrateLen)
+			e := s.lru.PushFront(&stagedBlock{key: key, diskOff: slot})
+			s.index[key] = e
+			s.tapeMigrates++
+		}
+		off = readEnd
+	}
+}
+
+// takeSlot returns a free migration slot, evicting the LRU block if none.
+func (s *Stager) takeSlot() int64 {
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return slot
+	}
+	victim := s.lru.Back()
+	if victim == nil {
+		panic("hsm: no slots and nothing to evict")
+	}
+	b := victim.Value.(*stagedBlock)
+	s.lru.Remove(victim)
+	delete(s.index, b.key)
+	s.evictions++
+	return b.diskOff
+}

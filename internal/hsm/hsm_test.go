@@ -1,0 +1,218 @@
+package hsm
+
+import (
+	"io"
+	"testing"
+
+	"sleds/internal/core"
+	"sleds/internal/device"
+	"sleds/internal/lmbench"
+	"sleds/internal/vfs"
+	"sleds/internal/workload"
+)
+
+const testPage = 4096
+
+type fixture struct {
+	k      *vfs.Kernel
+	tape   device.ID
+	disk   device.ID
+	stager *Stager
+	tab    *core.Table
+}
+
+func newFixture(t testing.TB, capacityBlocks int) *fixture {
+	t.Helper()
+	mem := device.NewMem(device.DefaultMemConfig(0))
+	k := vfs.NewKernel(vfs.Config{PageSize: testPage, CachePages: 16, MemDevice: mem})
+	k.AttachDevice(mem)
+	disk := k.AttachDevice(device.NewDisk(device.DefaultDiskConfig(1)))
+	tcfg := device.DefaultTapeLibraryConfig(2)
+	tape := k.AttachDevice(device.NewTapeLibrary(tcfg))
+	if err := k.MkdirAll("/hsm"); err != nil {
+		t.Fatal(err)
+	}
+	const block = 64 * 1024
+	s, err := New(k, Config{Tape: tape, Disk: disk, BlockSize: block, Capacity: int64(capacityBlocks) * block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := lmbench.Calibrate(k.Clock, mem, k.Devices.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{k: k, tape: tape, disk: disk, stager: s, tab: tab}
+}
+
+func (fx *fixture) tapeFile(t testing.TB, path string, seed uint64, size int64) *vfs.Inode {
+	t.Helper()
+	n, err := fx.k.Create(path, fx.tape, workload.NewText(seed, size, testPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidation(t *testing.T) {
+	mem := device.NewMem(device.DefaultMemConfig(0))
+	k := vfs.NewKernel(vfs.Config{PageSize: testPage, CachePages: 8, MemDevice: mem})
+	k.AttachDevice(mem)
+	disk := k.AttachDevice(device.NewDisk(device.DefaultDiskConfig(1)))
+	tape := k.AttachDevice(device.NewTapeLibrary(device.DefaultTapeLibraryConfig(2)))
+	if _, err := New(k, Config{Tape: tape, Disk: disk, BlockSize: 1000, Capacity: 1 << 20}); err == nil {
+		t.Fatalf("unaligned block size accepted")
+	}
+	if _, err := New(k, Config{Tape: tape, Disk: disk, BlockSize: 64 << 10, Capacity: 1000}); err == nil {
+		t.Fatalf("tiny capacity accepted")
+	}
+}
+
+func TestFirstReadMigratesSecondHitsDisk(t *testing.T) {
+	fx := newFixture(t, 64)
+	fx.tapeFile(t, "/hsm/f", 1, 8*testPage)
+	f, err := fx.k.Open("/hsm/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	before := fx.k.Clock.Now()
+	buf := make([]byte, testPage)
+	f.ReadAt(buf, 0)
+	coldCost := fx.k.Clock.Now() - before
+	if _, migrates, _ := fx.stager.Stats(); migrates == 0 {
+		t.Fatalf("no tape migration on first read")
+	}
+
+	// Drop the RAM cache so the second read must go back to the stager.
+	fx.k.DropCaches()
+	before = fx.k.Clock.Now()
+	f.ReadAt(buf, 0)
+	stagedCost := fx.k.Clock.Now() - before
+	if reads, _, _ := fx.stager.Stats(); reads == 0 {
+		t.Fatalf("second read did not hit the disk stage")
+	}
+	if stagedCost*100 > coldCost {
+		t.Fatalf("staged read (%v) not ≫ cheaper than tape read (%v)", stagedCost, coldCost)
+	}
+}
+
+func TestDataCorrectThroughMigration(t *testing.T) {
+	fx := newFixture(t, 4)
+	n := fx.tapeFile(t, "/hsm/f", 2, 6*testPage)
+	want := workload.NewText(2, 6*testPage, testPage).ReadAll()
+	_ = n
+	f, _ := fx.k.Open("/hsm/f")
+	defer f.Close()
+	got := make([]byte, 6*testPage)
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d corrupted through HSM", i)
+		}
+	}
+}
+
+func TestStageEviction(t *testing.T) {
+	fx := newFixture(t, 2) // two 64 KiB blocks of stage
+	fx.tapeFile(t, "/hsm/f", 3, 4*64*1024)
+	f, _ := fx.k.Open("/hsm/f")
+	defer f.Close()
+	buf := make([]byte, 64*1024)
+	for i := int64(0); i < 4; i++ {
+		f.ReadAt(buf, i*64*1024)
+	}
+	if fx.stager.StagedBlocks() != 2 {
+		t.Fatalf("staged blocks = %d, want 2", fx.stager.StagedBlocks())
+	}
+	if _, _, ev := fx.stager.Stats(); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+	n, _ := fx.k.Stat("/hsm/f")
+	if fx.stager.IsStaged(n, n.Extent()) {
+		t.Fatalf("block 0 still staged after LRU churn")
+	}
+	if !fx.stager.IsStaged(n, n.Extent()+3*64*1024) {
+		t.Fatalf("most recent block not staged")
+	}
+}
+
+func TestDeviceForPageReflectsStaging(t *testing.T) {
+	fx := newFixture(t, 8)
+	n := fx.tapeFile(t, "/hsm/f", 4, 4*64*1024)
+	if got := fx.k.DeviceForPage(n, 0); got != fx.tape {
+		t.Fatalf("unstaged page reports device %d, want tape %d", got, fx.tape)
+	}
+	f, _ := fx.k.Open("/hsm/f")
+	defer f.Close()
+	f.ReadAt(make([]byte, 10), 0)
+	fx.k.DropCaches() // out of RAM, still staged on disk
+	if got := fx.k.DeviceForPage(n, 0); got != fx.disk {
+		t.Fatalf("staged page reports device %d, want disk %d", got, fx.disk)
+	}
+}
+
+func TestSLEDQuerySeesThreeLevels(t *testing.T) {
+	fx := newFixture(t, 8)
+	n := fx.tapeFile(t, "/hsm/f", 5, 4*64*1024)
+	f, _ := fx.k.Open("/hsm/f")
+	defer f.Close()
+
+	// Touch the first block: RAM + stage. Then drop half the RAM pages by
+	// touching the second block's first page only.
+	f.ReadAt(make([]byte, 64*1024), 0)  // block 0: RAM + staged
+	fx.k.DropCaches()                   // block 0: staged only
+	f.ReadAt(make([]byte, testPage), 0) // page 0: RAM again
+
+	sleds, err := core.Query(fx.k, fx.tab, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(sleds, n.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleds) != 3 {
+		t.Fatalf("want 3 SLEDs (mem/disk/tape), got %v", sleds)
+	}
+	if !(sleds[0].Latency < sleds[1].Latency && sleds[1].Latency < sleds[2].Latency) {
+		t.Fatalf("SLED latencies not mem<disk<tape: %v", sleds)
+	}
+	// The tape SLED's latency should be enormous (mount + locate).
+	if sleds[2].Latency < 5 {
+		t.Fatalf("tape SLED latency %v s, expected tens of seconds", sleds[2].Latency)
+	}
+}
+
+func TestHSMGainExceedsDiskGain(t *testing.T) {
+	// The paper's claim: SLEDs gains are much larger on HSM. Compare a
+	// stale-cache re-read of a partially staged file against reading it
+	// all from tape.
+	fx := newFixture(t, 16)
+	fx.tapeFile(t, "/hsm/f", 6, 8*64*1024)
+	f, _ := fx.k.Open("/hsm/f")
+	defer f.Close()
+
+	// Stage the first half by reading it once.
+	half := int64(4 * 64 * 1024)
+	f.ReadAt(make([]byte, half), 0)
+	fx.k.DropCaches()
+	fx.k.ResetDeviceState()
+
+	// Tape-ordered read of the unstaged half (what a linear reader that
+	// starts at the unstaged tail would suffer).
+	before := fx.k.Clock.Now()
+	f.ReadAt(make([]byte, half), half)
+	tapeCost := fx.k.Clock.Now() - before
+
+	fx.k.DropCaches()
+	fx.k.ResetDeviceState()
+	before = fx.k.Clock.Now()
+	f.ReadAt(make([]byte, half), 0)
+	stagedCost := fx.k.Clock.Now() - before
+
+	if stagedCost*50 > tapeCost {
+		t.Fatalf("staged half (%v) not ≫ cheaper than tape half (%v)", stagedCost, tapeCost)
+	}
+}

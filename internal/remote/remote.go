@@ -1,0 +1,242 @@
+// Package remote implements SLEDs across a network: the paper's §2
+// proposal that "SLEDs be the vocabulary of communication between clients
+// and servers as well as between applications and operating systems".
+//
+// A Mount models a file server with its own buffer cache reached over a
+// network link. Unlike the flat NFS characterization device (one latency,
+// one bandwidth for the whole mount, as in the paper's Table 2), the
+// Mount distinguishes, per page, whether the server would satisfy a read
+// from its RAM or from its disk — and exposes that distinction to client
+// SLED queries through two characterization sub-devices:
+//
+//	remote/fast: RTT + server memory + wire transfer
+//	remote/slow: RTT + server disk access + wire transfer
+//
+// The client kernel's FSLEDS_GET then reports three levels for a remote
+// file: client RAM, server RAM (cheap network), server disk (expensive
+// network). Applications reorder across all three with the ordinary pick
+// library — nothing else changes, which is the point of the proposal.
+//
+// The Mount plugs into the client kernel exactly as the HSM stager does:
+// demand fetches flow through Fetch, per-page level queries through
+// DeviceFor.
+package remote
+
+import (
+	"container/list"
+	"fmt"
+
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+	"sleds/internal/vfs"
+)
+
+// Config parameterises the mount.
+type Config struct {
+	// RTT is the request round-trip time (protocol + wire latency).
+	RTT simclock.Duration
+	// WireBandwidth is the network transfer rate in bytes/sec.
+	WireBandwidth float64
+	// ServerDisk configures the server's disk. ID is overwritten.
+	ServerDisk device.DiskConfig
+	// ServerMem configures the server's memory. ID is overwritten.
+	ServerMem device.MemConfig
+	// ServerCachePages is the size of the server's buffer cache.
+	ServerCachePages int
+}
+
+// DefaultConfig returns a department file server on switched 100 Mbit
+// ethernet: 400 us request RTT, ~8 MB/s wire, a Table 2-class disk and a
+// generous cache. With these numbers the server-cached level sits two
+// orders of magnitude below the server-disk level for small reads — the
+// distinction the flat NFS table entry cannot express.
+func DefaultConfig() Config {
+	return Config{
+		RTT:              400 * simclock.Microsecond,
+		WireBandwidth:    8 * float64(1<<20),
+		ServerDisk:       device.DefaultDiskConfig(0),
+		ServerMem:        device.DefaultMemConfig(0),
+		ServerCachePages: 16 << 20 / 4096,
+	}
+}
+
+// Mount is the client's view of the remote server.
+type Mount struct {
+	k   *vfs.Kernel
+	cfg Config
+
+	serverDisk *device.Disk
+	serverMem  *device.Mem
+
+	fastID device.ID // characterization device: server-cached reads
+	slowID device.ID // characterization device: server-disk reads
+	homeID device.ID // the device remote files are created on (== slowID)
+
+	// server buffer cache, keyed by server-disk page.
+	pageSize    int64
+	serverCache *list.List // *serverPage, front = MRU
+	serverIndex map[int64]*list.Element
+	capacity    int
+}
+
+// serverPage is one page resident in the server's cache.
+type serverPage struct{ page int64 }
+
+// NewMount attaches the mount's characterization devices to the client
+// kernel, registers the mount as the stager for remote files, and returns
+// it. Files served by this mount must be created on Mount.Device().
+func NewMount(k *vfs.Kernel, cfg Config) (*Mount, error) {
+	if cfg.WireBandwidth <= 0 {
+		return nil, fmt.Errorf("remote: non-positive wire bandwidth")
+	}
+	if cfg.ServerCachePages <= 0 {
+		return nil, fmt.Errorf("remote: server cache of %d pages", cfg.ServerCachePages)
+	}
+	m := &Mount{
+		k:           k,
+		cfg:         cfg,
+		pageSize:    int64(k.PageSize()),
+		serverCache: list.New(),
+		serverIndex: make(map[int64]*list.Element),
+		capacity:    cfg.ServerCachePages,
+	}
+	memCfg := cfg.ServerMem
+	memCfg.ID = device.ID(k.Devices.Len())
+	memCfg.Name = "remote/fast"
+	fast := &fastPath{m: m, id: memCfg.ID}
+	m.fastID = k.AttachDevice(fast)
+
+	diskCfg := cfg.ServerDisk
+	diskCfg.ID = device.ID(k.Devices.Len())
+	diskCfg.Name = "remote/slow"
+	m.serverDisk = device.NewDisk(diskCfg)
+	slow := &slowPath{m: m, id: diskCfg.ID}
+	m.slowID = k.AttachDevice(slow)
+	m.homeID = m.slowID
+
+	m.serverMem = device.NewMem(cfg.ServerMem)
+
+	k.SetStager(m, m.homeID)
+	return m, nil
+}
+
+// Device returns the device ID remote files must be created on.
+func (m *Mount) Device() device.ID { return m.homeID }
+
+// FastDevice returns the characterization device for server-cached pages
+// (for inspecting table entries).
+func (m *Mount) FastDevice() device.ID { return m.fastID }
+
+// ServerCachedPages reports how many pages the server currently caches.
+func (m *Mount) ServerCachedPages() int { return m.serverCache.Len() }
+
+// serverHas reports and refreshes residency of a server page.
+func (m *Mount) serverHas(page int64, touch bool) bool {
+	e, ok := m.serverIndex[page]
+	if ok && touch {
+		m.serverCache.MoveToFront(e)
+	}
+	return ok
+}
+
+// serverInsert adds a page to the server cache, evicting LRU.
+func (m *Mount) serverInsert(page int64) {
+	if e, ok := m.serverIndex[page]; ok {
+		m.serverCache.MoveToFront(e)
+		return
+	}
+	for m.serverCache.Len() >= m.capacity {
+		victim := m.serverCache.Back()
+		m.serverCache.Remove(victim)
+		delete(m.serverIndex, victim.Value.(*serverPage).page)
+	}
+	m.serverIndex[page] = m.serverCache.PushFront(&serverPage{page: page})
+}
+
+// readThrough charges one remote read of [off, off+n): RTT, then server
+// memory or disk, then the wire transfer. The server caches what its disk
+// returns.
+func (m *Mount) readThrough(c *simclock.Clock, off, n int64) {
+	c.Advance(m.cfg.RTT)
+	end := off + n
+	for cur := off; cur < end; {
+		page := cur / m.pageSize
+		pageEnd := (page + 1) * m.pageSize
+		stop := end
+		if stop > pageEnd {
+			stop = pageEnd
+		}
+		if m.serverHas(page, true) {
+			m.serverMem.Read(c, cur, stop-cur)
+		} else {
+			m.serverDisk.Read(c, cur, stop-cur)
+			m.serverInsert(page)
+		}
+		cur = stop
+	}
+	c.Advance(simclock.TransferTime(n, m.cfg.WireBandwidth))
+}
+
+// Fetch implements vfs.Stager.
+func (m *Mount) Fetch(ino *vfs.Inode, devOff, length int64) {
+	m.readThrough(m.k.Clock, devOff, length)
+}
+
+// DeviceFor implements vfs.Stager: server-cached pages report the fast
+// characterization device, the rest the slow one.
+func (m *Mount) DeviceFor(ino *vfs.Inode, devOff int64) device.ID {
+	if m.serverHas(devOff/m.pageSize, false) {
+		return m.fastID
+	}
+	return m.slowID
+}
+
+// fastPath is the characterization device for server-cached reads: what
+// lmbench measures to fill the client's table entry for that level.
+type fastPath struct {
+	m  *Mount
+	id device.ID
+}
+
+func (f *fastPath) Info() device.Info {
+	return device.Info{ID: f.id, Name: "remote/fast", Level: device.LevelNFS, Size: f.m.cfg.ServerDisk.Size}
+}
+
+// Read charges the fast-path cost model: RTT + server memory + wire.
+func (f *fastPath) Read(c *simclock.Clock, off, n int64) {
+	c.Advance(f.m.cfg.RTT)
+	f.m.serverMem.Read(c, off, n)
+	c.Advance(simclock.TransferTime(n, f.m.cfg.WireBandwidth))
+}
+
+func (f *fastPath) Write(c *simclock.Clock, off, n int64) { f.Read(c, off, n) }
+func (f *fastPath) Reset()                                {}
+
+// slowPath is the characterization device for server-disk reads and the
+// home device of remote files. Its Read is only invoked by lmbench
+// calibration and by dirty write-back; demand reads go through Fetch.
+type slowPath struct {
+	m  *Mount
+	id device.ID
+}
+
+func (s *slowPath) Info() device.Info {
+	return device.Info{ID: s.id, Name: "remote/slow", Level: device.LevelNFS, Size: s.m.cfg.ServerDisk.Size}
+}
+
+// Read charges the slow-path cost model WITHOUT populating the server
+// cache: calibration probes must not warm it.
+func (s *slowPath) Read(c *simclock.Clock, off, n int64) {
+	c.Advance(s.m.cfg.RTT)
+	s.m.serverDisk.Read(c, off, n)
+	c.Advance(simclock.TransferTime(n, s.m.cfg.WireBandwidth))
+}
+
+// Write charges a synchronous remote write.
+func (s *slowPath) Write(c *simclock.Clock, off, n int64) {
+	c.Advance(s.m.cfg.RTT)
+	s.m.serverDisk.Write(c, off, n)
+	c.Advance(simclock.TransferTime(n, s.m.cfg.WireBandwidth))
+}
+
+func (s *slowPath) Reset() { s.m.serverDisk.Reset() }

@@ -1,0 +1,66 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sleds/internal/core"
+)
+
+// Wire format for SLED vectors — the concrete "vocabulary" of the paper's
+// client/server proposal. Each message is:
+//
+//	magic   uint32  'S','L','E','D'
+//	count   uint32
+//	count * { offset int64, length int64, latency float64, bandwidth float64 }
+//
+// All fields big-endian; floats are IEEE 754 bit patterns. The format is
+// versionless by design: the paper's struct sled is the protocol.
+
+const (
+	wireMagic   = 0x534c4544 // "SLED"
+	headerBytes = 8
+	sledBytes   = 32
+)
+
+// MarshalSLEDs encodes a SLED vector.
+func MarshalSLEDs(sleds []core.SLED) []byte {
+	out := make([]byte, headerBytes+sledBytes*len(sleds))
+	binary.BigEndian.PutUint32(out[0:], wireMagic)
+	binary.BigEndian.PutUint32(out[4:], uint32(len(sleds)))
+	for i, s := range sleds {
+		p := out[headerBytes+i*sledBytes:]
+		binary.BigEndian.PutUint64(p[0:], uint64(s.Offset))
+		binary.BigEndian.PutUint64(p[8:], uint64(s.Length))
+		binary.BigEndian.PutUint64(p[16:], math.Float64bits(s.Latency))
+		binary.BigEndian.PutUint64(p[24:], math.Float64bits(s.Bandwidth))
+	}
+	return out
+}
+
+// UnmarshalSLEDs decodes a SLED vector, validating structure.
+func UnmarshalSLEDs(data []byte) ([]core.SLED, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("remote: short SLED message (%d bytes)", len(data))
+	}
+	if got := binary.BigEndian.Uint32(data[0:]); got != wireMagic {
+		return nil, fmt.Errorf("remote: bad SLED magic %#x", got)
+	}
+	count := binary.BigEndian.Uint32(data[4:])
+	want := headerBytes + int(count)*sledBytes
+	if len(data) != want {
+		return nil, fmt.Errorf("remote: SLED message of %d bytes, want %d for %d entries", len(data), want, count)
+	}
+	out := make([]core.SLED, count)
+	for i := range out {
+		p := data[headerBytes+i*sledBytes:]
+		out[i] = core.SLED{
+			Offset:    int64(binary.BigEndian.Uint64(p[0:])),
+			Length:    int64(binary.BigEndian.Uint64(p[8:])),
+			Latency:   math.Float64frombits(binary.BigEndian.Uint64(p[16:])),
+			Bandwidth: math.Float64frombits(binary.BigEndian.Uint64(p[24:])),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package sledlib
+
+import (
+	"math"
+	"sort"
+
+	"sleds/internal/core"
+	"sleds/internal/vfs"
+)
+
+// FileSetOrder orders a group of files by estimated total delivery time,
+// cheapest first — Steere's "file sets" idea (paper §2: "exploit the file
+// system cache on a file granularity, ordering access to a group of files
+// to present the cached files first. However, there is no notion of
+// intra-file access ordering").
+//
+// It is the whole-file-granularity half of SLEDs: a find -exec grep
+// driver can use it alone (each file then read linearly), or combine it
+// with per-file Pickers for full intra-file reordering. Files whose SLEDs
+// cannot be determined are placed last, in input order, with an infinite
+// estimate.
+//
+// The returned slice contains the input paths reordered; estimates are
+// returned alongside for reporting.
+func FileSetOrder(k *vfs.Kernel, tab *core.Table, paths []string, plan core.Plan) ([]string, []float64) {
+	type entry struct {
+		path string
+		est  float64
+		ok   bool
+		idx  int
+	}
+	entries := make([]entry, len(paths))
+	for i, p := range paths {
+		entries[i] = entry{path: p, idx: i}
+		n, err := k.Stat(p)
+		if err != nil || n.IsDir() {
+			continue
+		}
+		sleds, err := core.Query(k, tab, n)
+		if err != nil {
+			continue
+		}
+		entries[i].est = core.TotalDeliveryTime(sleds, plan)
+		entries[i].ok = true
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.ok != b.ok {
+			return a.ok
+		}
+		if !a.ok {
+			return a.idx < b.idx
+		}
+		if a.est != b.est {
+			return a.est < b.est
+		}
+		return a.idx < b.idx
+	})
+	outPaths := make([]string, len(entries))
+	outEst := make([]float64, len(entries))
+	for i, e := range entries {
+		outPaths[i] = e.path
+		if e.ok {
+			outEst[i] = e.est
+		} else {
+			outEst[i] = math.Inf(1)
+		}
+	}
+	return outPaths, outEst
+}

@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func addAll(s *Sample, xs ...float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 {
+		t.Fatalf("N = %d, want 0", s.N())
+	}
+	if !math.IsNaN(s.Mean()) {
+		t.Fatalf("Mean of empty sample = %v, want NaN", s.Mean())
+	}
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("Min/Max of empty sample not NaN")
+	}
+	if s.StdDev() != 0 || s.CI90() != 0 {
+		t.Fatalf("StdDev/CI90 of empty sample not 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var s Sample
+	addAll(&s, 1, 2, 3, 4)
+	if got := s.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDevKnownValue(t *testing.T) {
+	var s Sample
+	addAll(&s, 2, 4, 4, 4, 5, 5, 7, 9)
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatalf("single-observation summary wrong: %+v", s.Summarize())
+	}
+	if s.CI90() != 0 {
+		t.Fatalf("CI90 of single observation = %v, want 0", s.CI90())
+	}
+}
+
+func TestCI90TwelveRuns(t *testing.T) {
+	// Twelve identical-spread observations: CI half-width must use
+	// t(11) = 1.796 as in the paper's methodology.
+	var s Sample
+	for i := 0; i < 12; i++ {
+		s.Add(float64(i % 2)) // alternating 0,1: mean .5, sd ~0.522
+	}
+	want := 1.796 * s.StdDev() / math.Sqrt(12)
+	if got := s.CI90(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI90 = %v, want %v", got, want)
+	}
+}
+
+func TestCI90LargeSampleUsesNormal(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 2))
+	}
+	want := 1.645 * s.StdDev() / 10
+	if got := s.CI90(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI90 = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var s Sample
+	addAll(&s, 5, -2, 7, 0)
+	if s.Min() != -2 || s.Max() != 7 {
+		t.Fatalf("Min/Max = %v/%v, want -2/7", s.Min(), s.Max())
+	}
+}
+
+func TestValuesIsACopy(t *testing.T) {
+	var s Sample
+	addAll(&s, 1, 2)
+	v := s.Values()
+	v[0] = 99
+	if s.Values()[0] != 1 {
+		t.Fatalf("Values leaked internal storage")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Sample
+	addAll(&s, 1, 2, 3)
+	got := s.Summarize().String()
+	if got == "" {
+		t.Fatalf("empty Summary.String()")
+	}
+}
+
+func TestMeanWithinMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		ok := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in sums.
+			if math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 1.0 / 3}, {1.5, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 {
+		t.Fatalf("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Fatalf("empty CDF Quantile not NaN")
+	}
+	if len(c.Points()) != 0 {
+		t.Fatalf("empty CDF has points")
+	}
+}
+
+func TestCDFDoesNotRetainInput(t *testing.T) {
+	xs := []float64{2, 1}
+	c := NewCDF(xs)
+	xs[0] = -100
+	if got := c.Quantile(0.5); got != 1 {
+		t.Fatalf("CDF retained caller slice: Quantile(0.5) = %v", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1.0, 40}, {0.01, 10}, {2, 40}, {-1, 10},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCDFPointsMonotonic(t *testing.T) {
+	c := NewCDF([]float64{5, 3, 8, 1, 9, 2})
+	pts := c.Points()
+	if len(pts) != 6 {
+		t.Fatalf("Points len = %d, want 6", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] <= pts[i-1][1] {
+			t.Fatalf("CDF points not monotonic at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Fatalf("CDF does not reach 1: %v", pts[len(pts)-1][1])
+	}
+}
+
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		// For every observation x, At(x) >= rank fraction and
+		// Quantile(At(x)) <= x.
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for i, x := range sorted {
+			p := c.At(x)
+			if p < float64(i+1)/float64(len(sorted))-1e-9 {
+				return false
+			}
+			if q := c.Quantile(p); q > x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	got := Speedup([]float64{10, 9, 0}, []float64{2, 3, 5})
+	want := []float64{5, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Speedup[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpeedupDivZero(t *testing.T) {
+	got := Speedup([]float64{1}, []float64{0})
+	if !math.IsInf(got[0], 1) {
+		t.Fatalf("Speedup by zero = %v, want +Inf", got[0])
+	}
+}
+
+func TestSpeedupMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched Speedup did not panic")
+		}
+	}()
+	Speedup([]float64{1, 2}, []float64{1})
+}
+
+func TestTCriticalMonotonic(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		v := tCritical90(df)
+		if v > prev {
+			t.Fatalf("t critical value not non-increasing at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+	if tCritical90(0) != 0 {
+		t.Fatalf("tCritical90(0) != 0")
+	}
+}

@@ -1,0 +1,316 @@
+// Package vfs implements the simulated kernel's file layer: a rooted
+// directory tree of inodes whose data lives on simulated devices
+// (internal/device), read and written page-at-a-time through the buffer
+// cache (internal/cache), with all costs charged to a virtual clock.
+//
+// This is the substrate the paper modified: its SLEDs changes live in the
+// Linux VFS layer, "independent of the on-disk data structure of ext2 or
+// ISO9660". Mirroring that, files here are device-independent; the device
+// a file lives on determines retrieval cost, nothing else.
+//
+// The kernel is single-threaded (one logical CPU, as on the paper's test
+// machines); no locking.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+
+	"sleds/internal/cache"
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+)
+
+// Sentinel errors returned by path and file operations.
+var (
+	ErrNotExist = errors.New("file does not exist")
+	ErrExist    = errors.New("file already exists")
+	ErrIsDir    = errors.New("is a directory")
+	ErrNotDir   = errors.New("not a directory")
+	ErrClosed   = errors.New("file already closed")
+	ErrReadOnly = errors.New("read-only device")
+	ErrNoSpace  = errors.New("no space left on device")
+)
+
+// Ino is a kernel-wide unique inode number.
+type Ino uint64
+
+// Config parameterises the kernel.
+type Config struct {
+	// PageSize is the VM page size; the paper's machines used 4 KiB.
+	PageSize int
+	// CachePages is the number of page frames available to cache file
+	// pages (the paper's 64 MB machine had roughly 44 MB of them).
+	CachePages int
+	// Policy selects the replacement policy (default LRU).
+	Policy cache.Policy
+	// ReadaheadPages is how many extra pages a demand fault pulls in
+	// (default 0: Figure 9's fault counts indicate demand paging).
+	ReadaheadPages int
+	// MemDevice is the device whose cost model is charged for cache-hit
+	// copies to user space. Required.
+	MemDevice device.Device
+	// JitterSeed/JitterFrac perturb device I/O times to model background
+	// activity; frac 0 disables.
+	JitterSeed int64
+	JitterFrac float64
+}
+
+// RunStats counts the activity of one measured run (between ResetRunStats
+// and a later snapshot). Faults corresponds to what the paper's `time`
+// command reports: demand reads that had to go to a device.
+type RunStats struct {
+	Faults          int64 // demand-missed pages read from a device
+	ReadaheadPages  int64 // additional pages pulled in by readahead
+	PagesWrittenDev int64 // dirty pages written back to a device
+	CacheHits       int64
+	BytesRead       int64
+	BytesWritten    int64
+	IOWait          simclock.Duration
+	CPUTime         simclock.Duration
+
+	// Asynchronous prefetch (the hints substrate):
+	PrefetchIssued  int64 // pages scheduled on background device timelines
+	PrefetchedPages int64 // demand accesses served by a completed prefetch
+	PrefetchWaits   int64 // demand accesses that waited for in-flight I/O
+}
+
+// Kernel is the simulated machine: clock, devices, cache, and file tree.
+type Kernel struct {
+	Clock   *simclock.Clock
+	Devices *device.Registry
+
+	cfg    Config
+	cache  *cache.Cache
+	jitter *simclock.Jitter
+
+	root    *Inode
+	inodes  map[Ino]*Inode
+	nextIno Ino
+
+	// stager, when set, intercepts device reads for files on the devices
+	// in stagedDevs (an HSM layer migrating tape blocks to a disk cache).
+	stager     Stager
+	stagedDevs map[device.ID]bool
+
+	// Asynchronous prefetch state: per-device background timelines and
+	// in-flight pages (see prefetch.go).
+	pending   prefetchPending
+	busyUntil map[device.ID]simclock.Duration
+
+	// nextAlloc tracks the next free byte on each device.
+	nextAlloc map[device.ID]int64
+
+	stats RunStats
+}
+
+// NewKernel boots a simulated machine with an empty file tree and an
+// empty cache. Storage devices are attached afterwards with AttachDevice;
+// cfg.MemDevice (used to cost cache-hit copies) is charged directly and
+// does not need to be attached.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.PageSize <= 0 {
+		panic(fmt.Sprintf("vfs: bad page size %d", cfg.PageSize))
+	}
+	if cfg.CachePages <= 0 {
+		panic(fmt.Sprintf("vfs: bad cache size %d", cfg.CachePages))
+	}
+	if cfg.MemDevice == nil {
+		panic("vfs: MemDevice is required")
+	}
+	k := &Kernel{
+		Clock:     simclock.New(),
+		Devices:   device.NewRegistry(),
+		cfg:       cfg,
+		inodes:    make(map[Ino]*Inode),
+		nextAlloc: make(map[device.ID]int64),
+	}
+	if cfg.JitterFrac > 0 {
+		k.jitter = simclock.NewJitter(cfg.JitterSeed, cfg.JitterFrac)
+	}
+	k.cache = cache.New(cfg.CachePages, cfg.Policy, k.onEvict)
+	k.root = &Inode{ino: k.allocIno(), name: "/", isDir: true, children: map[string]*Inode{}}
+	k.inodes[k.root.ino] = k.root
+	return k
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// PageSize returns the VM page size.
+func (k *Kernel) PageSize() int { return k.cfg.PageSize }
+
+// Cache exposes the buffer cache (read-mostly: experiments inspect it, the
+// SLED scan probes residency).
+func (k *Kernel) Cache() *cache.Cache { return k.cache }
+
+// AttachDevice adds a device to the machine.
+func (k *Kernel) AttachDevice(d device.Device) device.ID {
+	return k.Devices.Attach(d)
+}
+
+func (k *Kernel) allocIno() Ino {
+	k.nextIno++
+	return k.nextIno
+}
+
+// ResetRunStats zeroes the per-run counters (called at the start of each
+// measured run).
+func (k *Kernel) ResetRunStats() { k.stats = RunStats{} }
+
+// RunStats returns a snapshot of the per-run counters.
+func (k *Kernel) RunStats() RunStats { return k.stats }
+
+// ChargeCPU advances the clock by d and accounts it as CPU time. The
+// applications use this to model their per-byte processing cost.
+func (k *Kernel) ChargeCPU(d simclock.Duration) {
+	k.Clock.Advance(d)
+	k.stats.CPUTime += d
+}
+
+// ChargeCPUBytes charges CPU time for processing n bytes at rate
+// bytesPerSec.
+func (k *Kernel) ChargeCPUBytes(n int64, bytesPerSec float64) {
+	k.ChargeCPU(simclock.TransferTime(n, bytesPerSec))
+}
+
+// chargeIO runs fn (a device access) and accounts the elapsed virtual time
+// as I/O wait, with jitter applied on top.
+func (k *Kernel) chargeIO(fn func()) {
+	before := k.Clock.Now()
+	fn()
+	dt := k.Clock.Now() - before
+	if k.jitter != nil && dt > 0 {
+		perturbed := k.jitter.Perturb(dt)
+		if perturbed > dt {
+			k.Clock.Advance(perturbed - dt)
+			dt = perturbed
+		}
+	}
+	k.stats.IOWait += dt
+}
+
+// onEvict is the cache's eviction callback: dirty pages are written back
+// to their device.
+func (k *Kernel) onEvict(key cache.Key, data []byte, dirty bool) {
+	// An evicted page can no longer be served by its in-flight prefetch.
+	delete(k.pending, key)
+	if !dirty {
+		return
+	}
+	ino, ok := k.inodes[Ino(key.File)]
+	if !ok {
+		// File deleted with dirty pages still cached; drop them.
+		return
+	}
+	k.writePageToDevice(ino, key.Page, data)
+}
+
+// writePageToDevice stores page data into the inode's content and charges
+// the device write.
+func (k *Kernel) writePageToDevice(ino *Inode, page int64, data []byte) {
+	ino.content.WritePage(page, data)
+	dev := k.Devices.Get(ino.dev)
+	off := ino.extent + page*int64(k.cfg.PageSize)
+	k.chargeIO(func() { dev.Write(k.Clock, off, int64(len(data))) })
+	k.stats.PagesWrittenDev++
+}
+
+// allocExtent reserves size bytes of contiguous space on a device,
+// page-aligned, respecting chunk boundaries for chunked media (tape
+// cartridges).
+func (k *Kernel) allocExtent(id device.ID, size int64) (int64, error) {
+	d := k.Devices.Get(id)
+	ps := int64(k.cfg.PageSize)
+	next := k.nextAlloc[id]
+	// Round up to a page boundary.
+	next = (next + ps - 1) / ps * ps
+
+	if cb, ok := d.(interface{ ChunkSize() int64 }); ok {
+		chunk := cb.ChunkSize()
+		if size > chunk {
+			return 0, fmt.Errorf("vfs: file of %d bytes exceeds %q chunk size %d: %w",
+				size, d.Info().Name, chunk, ErrNoSpace)
+		}
+		// Avoid spanning a chunk (cartridge) boundary.
+		if next/chunk != (next+size-1)/chunk {
+			next = (next/chunk + 1) * chunk
+		}
+	}
+	if devSize := d.Info().Size; devSize > 0 && next+size > devSize {
+		return 0, fmt.Errorf("vfs: device %q full: %w", d.Info().Name, ErrNoSpace)
+	}
+	k.nextAlloc[id] = next + size
+	return next, nil
+}
+
+// Stager is a hierarchical storage layer interposed between the page
+// cache and a device: fetches may be served from a faster migration cache
+// (disk) instead of the backing device (tape), and the SLED query wants to
+// know which.
+type Stager interface {
+	// Fetch charges the virtual-time cost of making [devOff, devOff+n) of
+	// the file's backing bytes available for copying into the page cache,
+	// migrating between levels as needed.
+	Fetch(ino *Inode, devOff, length int64)
+	// DeviceFor reports the device the byte at devOff would currently be
+	// served from.
+	DeviceFor(ino *Inode, devOff int64) device.ID
+}
+
+// SetStager interposes s on reads from files living on the given devices.
+func (k *Kernel) SetStager(s Stager, devs ...device.ID) {
+	k.stager = s
+	k.stagedDevs = make(map[device.ID]bool, len(devs))
+	for _, d := range devs {
+		k.stagedDevs[d] = true
+	}
+}
+
+// DeviceForPage reports which device currently backs the given page: the
+// inode's device, or whatever level the stager has it at.
+func (k *Kernel) DeviceForPage(n *Inode, page int64) device.ID {
+	if k.stager != nil && k.stagedDevs[n.dev] {
+		return k.stager.DeviceFor(n, n.extent+page*int64(k.cfg.PageSize))
+	}
+	return n.dev
+}
+
+// ReserveExtent allocates size bytes of device space outside any file
+// (used by the HSM stager for its disk migration area).
+func (k *Kernel) ReserveExtent(dev device.ID, size int64) (int64, error) {
+	return k.allocExtent(dev, size)
+}
+
+// ResetDeviceState resets the mechanical state of every device (between
+// independent experiment trials), including the background prefetch
+// timelines. Cache contents are preserved; use DropCaches for a cold
+// cache.
+func (k *Kernel) ResetDeviceState() {
+	k.Devices.ResetAll()
+	k.busyUntil = nil
+}
+
+// DropCaches empties the buffer cache, writing back dirty pages first —
+// the simulator's /proc/sys/vm/drop_caches.
+func (k *Kernel) DropCaches() {
+	k.SyncAll()
+	k.pending = nil
+	// Invalidate clean pages file by file.
+	for _, ino := range k.inodes {
+		if !ino.isDir {
+			k.cache.InvalidateFile(uint64(ino.ino))
+		}
+	}
+}
+
+// SyncAll writes every dirty page back to its device (sync(2)).
+func (k *Kernel) SyncAll() {
+	k.cache.FlushDirty(func(key cache.Key, data []byte) {
+		ino, ok := k.inodes[Ino(key.File)]
+		if !ok {
+			return
+		}
+		k.writePageToDevice(ino, key.Page, data)
+	})
+}

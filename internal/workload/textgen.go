@@ -1,0 +1,95 @@
+package workload
+
+// Deterministic pseudo-text generation. Each page is generated
+// independently from (seed, page) with a splitmix64 stream, so any page
+// can be produced in O(pageSize) without generating its predecessors —
+// the property that lets the simulator serve random page faults cheaply.
+
+// lexicon is a small pool of lowercase words; none of them contains the
+// grep experiment's needle ("xyzzy..."), so planted matches are the only
+// matches.
+var lexicon = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"storage", "latency", "estimation", "descriptor", "cache", "page",
+	"fault", "disk", "tape", "mount", "seek", "transfer", "bandwidth",
+	"kernel", "library", "vector", "offset", "length", "segment", "file",
+	"system", "buffer", "linear", "pass", "reorder", "prune", "report",
+	"astronomy", "image", "histogram", "rebin", "pixel", "header", "unit",
+}
+
+// splitmix64 advances x and returns a well-mixed 64-bit value.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TextGen returns a PageGen producing line-oriented pseudo-text: words from
+// the lexicon separated by single spaces, newlines roughly every 50-70
+// bytes. Page content depends only on (seed, page).
+func TextGen(seed uint64) PageGen {
+	return func(page int64, buf []byte) {
+		state := seed ^ (uint64(page)+1)*0x9e3779b97f4a7c15
+		// Warm the stream so adjacent pages decorrelate.
+		splitmix64(&state)
+
+		lineLen := 0
+		i := 0
+		for i < len(buf) {
+			w := lexicon[splitmix64(&state)%uint64(len(lexicon))]
+			for j := 0; j < len(w) && i < len(buf); j++ {
+				buf[i] = w[j]
+				i++
+				lineLen++
+			}
+			if i >= len(buf) {
+				break
+			}
+			if lineLen >= 50+int(splitmix64(&state)%20) {
+				buf[i] = '\n'
+				lineLen = 0
+			} else {
+				buf[i] = ' '
+			}
+			i++
+		}
+	}
+}
+
+// NewText creates pseudo-text content of the given size.
+func NewText(seed uint64, size int64, pageSize int) *Content {
+	return New(size, pageSize, TextGen(seed))
+}
+
+// MatchLine builds a full text line embedding needle, padded to exactly
+// width bytes including the trailing newline (width must exceed
+// len(needle)+2). Planting whole lines keeps the grep experiments honest:
+// the match is found by scanning line content, not by luck of phasing.
+func MatchLine(needle string, width int) []byte {
+	if width < len(needle)+2 {
+		panic("workload: match line width too small")
+	}
+	line := make([]byte, width)
+	for i := range line {
+		line[i] = 'a' + byte(i%13)
+	}
+	line[0] = '\n' // terminate whatever line the splice lands inside
+	copy(line[1+(width-2-len(needle))/2:], needle)
+	line[width-1] = '\n'
+	return line
+}
+
+// PlantMatch splices a line containing needle so that it covers byte
+// offset off (clamped so the line fits inside the content).
+func PlantMatch(c *Content, off int64, needle string) {
+	const width = 64
+	if off > c.Size()-int64(width) {
+		off = c.Size() - int64(width)
+	}
+	if off < 0 {
+		off = 0
+	}
+	c.InsertAt(off, MatchLine(needle, width))
+}
