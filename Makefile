@@ -1,0 +1,39 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
+# the same checks the workflow does, in the same order.
+
+GO ?= go
+
+.PHONY: build vet fmt test race bench determinism ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (like CI) if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# determinism regenerates the quick-scale evaluation serially and with a
+# 4-worker pool and fails on any stdout byte difference, guarding the
+# per-point seed derivation and the index-ordered reduce.
+determinism:
+	$(GO) run ./cmd/sledsbench -scale quick -workers 1 > /tmp/sledsbench-w1.txt
+	$(GO) run ./cmd/sledsbench -scale quick -workers 4 > /tmp/sledsbench-w4.txt
+	diff /tmp/sledsbench-w1.txt /tmp/sledsbench-w4.txt
+	@echo "deterministic: quick-scale output is byte-identical at 1 and 4 workers"
+
+ci: build vet fmt test race determinism

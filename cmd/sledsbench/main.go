@@ -8,9 +8,12 @@
 //	sledsbench -scale quick     # ~16x smaller, same shapes, seconds to run
 //	sledsbench -exp f7,f8       # selected experiments only
 //	sledsbench -runs 6          # override runs per point
+//	sledsbench -workers 8       # parallel experiment points (0 = GOMAXPROCS)
 //
 // Output is the text rendering of each table/figure; EXPERIMENTS.md is
-// produced from this output.
+// produced from this output. Tables and figures go to stdout and are
+// byte-identical at any -workers value; per-experiment host-time
+// reporting goes to stderr so stdout stays diffable across runs.
 package main
 
 import (
@@ -18,16 +21,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"sleds/internal/experiments"
 )
 
+// knownExps lists every selectable experiment id, plus the "all" and
+// "ablations" group selectors. Unknown ids are an error (exit 2), not a
+// silently empty run.
+var knownExps = []string{
+	"all", "ablations",
+	"t2", "t3", "t4", "f3",
+	"f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f15x16",
+	"efind", "egmc", "ehsm", "eremote", "ehints", "etreegrep", "eaccuracy",
+	"ablation-policy", "ablation-pickorder", "ablation-refresh",
+	"ablation-readahead", "ablation-mmap", "ablation-zones",
+}
+
 func main() {
 	scale := flag.String("scale", "paper", "configuration scale: paper | quick")
 	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,ablations")
 	runs := flag.Int("runs", 0, "override measured runs per point (0 = configuration default)")
+	workers := flag.Int("workers", 0, "experiment points run in parallel (0 = GOMAXPROCS); output is identical at any value")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
 	flag.Parse()
 
@@ -44,14 +61,40 @@ func main() {
 	if *runs > 0 {
 		cfg.Runs = *runs
 	}
+	cfg.Workers = *workers
 
+	known := map[string]bool{}
+	for _, id := range knownExps {
+		known[id] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
-		want[strings.TrimSpace(e)] = true
+		id := strings.TrimSpace(e)
+		if id == "" {
+			continue
+		}
+		if !known[id] {
+			valid := append([]string(nil), knownExps...)
+			sort.Strings(valid)
+			fmt.Fprintf(os.Stderr, "sledsbench: unknown experiment id %q (valid: %s)\n",
+				id, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+		want[id] = true
+	}
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "sledsbench: no experiments selected")
+		os.Exit(2)
 	}
 	all := want["all"]
 	selected := func(id string) bool { return all || want[id] }
 
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: creating %s: %v\n", *csvDir, err)
+			os.Exit(1)
+		}
+	}
 	writeCSV := func(f experiments.Figure) {
 		if *csvDir == "" {
 			return
@@ -75,6 +118,12 @@ func main() {
 		float64(cfg.Sizes[0])/float64(experiments.MB),
 		float64(cfg.Sizes[len(cfg.Sizes)-1])/float64(experiments.MB), cfg.Runs)
 
+	// hostTime reports wall-clock per experiment on stderr: diagnostic,
+	// nondeterministic, and deliberately kept out of the diffable stdout.
+	hostTime := func(id string, start time.Time) {
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %.1fs host time)\n", id, time.Since(start).Seconds())
+	}
+
 	run := func(id string, fn func() (string, error)) {
 		if !selected(id) {
 			return
@@ -86,7 +135,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
-		fmt.Printf("(%s regenerated in %.1fs host time)\n\n", id, time.Since(start).Seconds())
+		hostTime(id, start)
 	}
 
 	run("t2", func() (string, error) {
@@ -119,7 +168,7 @@ func main() {
 			writeCSV(f8)
 			fmt.Println(f8.Render())
 		}
-		fmt.Printf("(f7+f8 regenerated in %.1fs host time)\n\n", time.Since(start).Seconds())
+		hostTime("f7+f8", start)
 	}
 	run("f9", func() (string, error) {
 		f, err := experiments.Fig9(cfg)
@@ -146,7 +195,7 @@ func main() {
 			writeCSV(f12)
 			fmt.Println(f12.Render())
 		}
-		fmt.Printf("(f11+f12 regenerated in %.1fs host time)\n\n", time.Since(start).Seconds())
+		hostTime("f11+f12", start)
 	}
 	run("f13", func() (string, error) {
 		f, err := experiments.Fig13(cfg)
@@ -246,6 +295,6 @@ func main() {
 		}
 		writeCSV(f)
 		fmt.Println(f.Render())
-		fmt.Printf("(%s regenerated in %.1fs host time)\n\n", abl.id, time.Since(start).Seconds())
+		hostTime(abl.id, start)
 	}
 }

@@ -22,10 +22,11 @@ import (
 func ablationSize(cfg Config) int64 { return 2 * cfg.CacheBytes() }
 
 // wcWarmSpeedup measures the wc speedup (without/with SLEDs) on a warm
-// file of the given size under cfg.
+// file of the given size under cfg. The two modes run as parallel points;
+// unlike the figure sweeps they deliberately share cfg.Seed unchanged, so
+// the paired comparison sees identical jitter streams.
 func wcWarmSpeedup(cfg Config, size int64) (speedup float64, err error) {
-	var sec [2]float64
-	for i, useSLEDs := range []bool{false, true} {
+	sec, err := RunGrid(cfg, 2, func(mode int) (float64, error) {
 		m, err := BootMachine(cfg, ProfileUnix)
 		if err != nil {
 			return 0, err
@@ -33,7 +34,7 @@ func wcWarmSpeedup(cfg Config, size int64) (speedup float64, err error) {
 		if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
 			return 0, err
 		}
-		env := m.Env(useSLEDs, cfg.BufSize)
+		env := m.Env(mode == 1, cfg.BufSize)
 		elapsed, _, err := measured(cfg, m, func(int) error {
 			_, err := wcapp.Run(env, "/data/testfile")
 			return err
@@ -41,7 +42,10 @@ func wcWarmSpeedup(cfg Config, size int64) (speedup float64, err error) {
 		if err != nil {
 			return 0, err
 		}
-		sec[i] = elapsed.Mean()
+		return elapsed.Mean(), nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return sec[0] / sec[1], nil
 }
@@ -52,16 +56,21 @@ func wcWarmSpeedup(cfg Config, size int64) (speedup float64, err error) {
 func AblationPolicy(cfg Config) (Figure, error) {
 	cfg.validate()
 	size := ablationSize(cfg)
-	var pts []Point
-	var names []string
-	for _, pol := range []cache.Policy{cache.LRU, cache.Clock, cache.FIFO} {
+	policies := []cache.Policy{cache.LRU, cache.Clock, cache.FIFO}
+	pts, err := RunGrid(cfg, len(policies), func(i int) (Point, error) {
 		c := cfg
-		c.Policy = pol
+		c.Policy = policies[i]
 		sp, err := wcWarmSpeedup(c, size)
 		if err != nil {
-			return Figure{}, err
+			return Point{}, err
 		}
-		pts = append(pts, Point{X: float64(pol), Mean: sp})
+		return Point{X: float64(policies[i]), Mean: sp}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var names []string
+	for _, pol := range policies {
 		names = append(names, pol.String())
 	}
 	return Figure{
@@ -121,14 +130,25 @@ func pickOrderScan(cfg Config, order sledlib.Order) (sec float64, faults int64, 
 // against file order and the pessimal highest-latency-first order.
 func AblationPickOrder(cfg Config) (Figure, error) {
 	cfg.validate()
-	var timePts, faultPts []Point
-	for _, order := range []sledlib.Order{sledlib.OrderLatency, sledlib.OrderLinear, sledlib.OrderReverseLatency} {
-		sec, faults, err := pickOrderScan(cfg, order)
+	orders := []sledlib.Order{sledlib.OrderLatency, sledlib.OrderLinear, sledlib.OrderReverseLatency}
+	type scanPoint struct{ time, faults Point }
+	points, err := RunGrid(cfg, len(orders), func(i int) (scanPoint, error) {
+		sec, faults, err := pickOrderScan(cfg, orders[i])
 		if err != nil {
-			return Figure{}, err
+			return scanPoint{}, err
 		}
-		timePts = append(timePts, Point{X: float64(order), Mean: sec})
-		faultPts = append(faultPts, Point{X: float64(order), Mean: float64(faults)})
+		return scanPoint{
+			Point{X: float64(orders[i]), Mean: sec},
+			Point{X: float64(orders[i]), Mean: float64(faults)},
+		}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var timePts, faultPts []Point
+	for _, p := range points {
+		timePts = append(timePts, p.time)
+		faultPts = append(faultPts, p.faults)
 	}
 	return Figure{
 		ID:     "ablation-pickorder",
@@ -209,14 +229,11 @@ func AblationRefresh(cfg Config) (Figure, error) {
 		}
 		return float64(m.K.Clock.Now()-start) / float64(simclock.Second), nil
 	}
-	stale, err := run(false)
+	secs, err := RunGrid(cfg, 2, func(mode int) (float64, error) { return run(mode == 1) })
 	if err != nil {
 		return Figure{}, err
 	}
-	fresh, err := run(true)
-	if err != nil {
-		return Figure{}, err
-	}
+	stale, fresh := secs[0], secs[1]
 	return Figure{
 		ID:     "ablation-refresh",
 		Title:  "SLEDs scan with a mid-run cache change: stale vs refreshed schedule",
@@ -277,14 +294,11 @@ func AblationMmap(cfg Config) (Figure, error) {
 		}
 		return float64(m.K.Clock.Now()-start) / float64(simclock.Second), nil
 	}
-	viaRead, err := run(false)
+	secs, err := RunGrid(cfg, 2, func(mode int) (float64, error) { return run(mode == 1) })
 	if err != nil {
 		return Figure{}, err
 	}
-	viaMmap, err := run(true)
-	if err != nil {
-		return Figure{}, err
-	}
+	viaRead, viaMmap := secs[0], secs[1]
 	return Figure{
 		ID:     "ablation-mmap",
 		Title:  "pick-order scan of a fully cached file: read() vs mmap path",
@@ -380,15 +394,18 @@ func AblationZones(cfg Config) (Figure, error) {
 // the linear reader.
 func AblationReadahead(cfg Config) (Figure, error) {
 	cfg.validate()
-	var pts []Point
-	for _, ra := range []int{0, 8} {
+	settings := []int{0, 8}
+	pts, err := RunGrid(cfg, len(settings), func(i int) (Point, error) {
 		c := cfg
-		c.ReadaheadPages = ra
+		c.ReadaheadPages = settings[i]
 		sp, err := wcWarmSpeedup(c, ablationSize(cfg))
 		if err != nil {
-			return Figure{}, err
+			return Point{}, err
 		}
-		pts = append(pts, Point{X: float64(ra), Mean: sp})
+		return Point{X: float64(settings[i]), Mean: sp}, nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "ablation-readahead",

@@ -33,6 +33,10 @@ type Config struct {
 	Seed       int64
 	JitterFrac float64 // background-activity perturbation of I/O times
 
+	// Workers sizes the parallel experiment runner's pool (see runner.go);
+	// <= 0 selects GOMAXPROCS. Any value produces byte-identical output.
+	Workers int
+
 	// Ablation knobs (zero values reproduce the paper's setup).
 	Policy         cache.Policy // page replacement (default LRU)
 	ReadaheadPages int          // demand-fault readahead (default 0)

@@ -92,7 +92,7 @@ type FindReport struct {
 // tape-resident data.
 func EFind(cfg Config) (FindReport, error) {
 	cfg.validate()
-	m, err := BootMachine(cfg, ProfileUnix)
+	m, err := BootMachine(cfg.forPoint("efind"), ProfileUnix)
 	if err != nil {
 		return FindReport{}, err
 	}
@@ -120,7 +120,7 @@ func EFind(cfg Config) (FindReport, error) {
 		{"/data/archive/run2.dat", "tape"},
 	}
 	for i, f := range files {
-		if err := mk(f.path, f.fs, uint64(cfg.Seed)+uint64(i)); err != nil {
+		if err := mk(f.path, f.fs, fileSeed(cfg, "efind", i)); err != nil {
 			return FindReport{}, err
 		}
 	}
@@ -170,12 +170,12 @@ func EFind(cfg Config) (FindReport, error) {
 // report-latency use of SLEDs (§3.3, Figure 6).
 func EGmc(cfg Config) (gmcapp.Report, error) {
 	cfg.validate()
-	m, err := BootMachine(cfg, ProfileUnix)
+	m, err := BootMachine(cfg.forPoint("egmc"), ProfileUnix)
 	if err != nil {
 		return gmcapp.Report{}, err
 	}
 	size := cfg.Sizes[len(cfg.Sizes)/2]
-	if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
+	if _, err := textFileOn(m, "ext2", fileSeed(cfg, "egmc", 0), size, cfg.PageSize); err != nil {
 		return gmcapp.Report{}, err
 	}
 	f, err := m.K.Open("/data/testfile")
@@ -206,8 +206,9 @@ func EHSM(cfg Config) (EHSMResult, error) {
 	cfg.validate()
 	size := cfg.Sizes[len(cfg.Sizes)/2-1]
 
-	run := func(useSLEDs bool) (float64, error) {
-		m, err := BootMachine(cfg, ProfileUnix)
+	run := func(mode int) (float64, error) {
+		useSLEDs := mode == 1
+		m, err := BootMachine(cfg.forPoint("ehsm", 0, mode), ProfileUnix)
 		if err != nil {
 			return 0, err
 		}
@@ -220,7 +221,7 @@ func EHSM(cfg Config) (EHSMResult, error) {
 		}); err != nil {
 			return 0, err
 		}
-		c, err := textFileOn(m, "tape", uint64(cfg.Seed), size, cfg.PageSize)
+		c, err := textFileOn(m, "tape", fileSeed(cfg, "ehsm", 0), size, cfg.PageSize)
 		if err != nil {
 			return 0, err
 		}
@@ -248,14 +249,11 @@ func EHSM(cfg Config) (EHSMResult, error) {
 		})
 	}
 
-	without, err := run(false)
+	secs, err := RunGrid(cfg, 2, func(mode int) (float64, error) { return run(mode) })
 	if err != nil {
 		return EHSMResult{}, err
 	}
-	with, err := run(true)
-	if err != nil {
-		return EHSMResult{}, err
-	}
+	without, with := secs[0], secs[1]
 	res := EHSMResult{WithoutSeconds: without, WithSeconds: with, Speedup: without / with}
 	res.Figure = Figure{
 		ID: "ehsm", Title: "grep -q on a tape-resident file with a staged tail (HSM extension)",

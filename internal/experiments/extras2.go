@@ -50,18 +50,18 @@ func EHints(cfg Config) (Figure, error) {
 		{"sleds+hints", true, true},
 	}
 
-	var pts []Point
-	for i, st := range strategies {
-		m, err := BootMachine(cfg, ProfileUnix)
+	pts, err := RunGrid(cfg, len(strategies), func(i int) (Point, error) {
+		st := strategies[i]
+		m, err := BootMachine(cfg.forPoint("ehints", i), ProfileUnix)
 		if err != nil {
-			return Figure{}, err
+			return Point{}, err
 		}
-		if _, err := textFileOn(m, "ext2", uint64(cfg.Seed), size, cfg.PageSize); err != nil {
-			return Figure{}, err
+		if _, err := textFileOn(m, "ext2", fileSeed(cfg, "ehints", 0), size, cfg.PageSize); err != nil {
+			return Point{}, err
 		}
 		f, err := m.K.Open("/data/testfile")
 		if err != nil {
-			return Figure{}, err
+			return Point{}, err
 		}
 		io.Copy(io.Discard, f) // warm pass
 		m.K.ResetDeviceState()
@@ -73,7 +73,7 @@ func EHints(cfg Config) (Figure, error) {
 		if st.useSLEDs {
 			picker, err := sledlib.PickInit(m.K, m.Table, f, sledlib.Options{BufSize: cfg.BufSize})
 			if err != nil {
-				return Figure{}, err
+				return Point{}, err
 			}
 			// Pre-collect the schedule so hints can run ahead of reads.
 			type adv2 struct{ off, n int64 }
@@ -93,7 +93,7 @@ func EHints(cfg Config) (Figure, error) {
 					}
 				}
 				if _, err := f.ReadAt(buf[:c.n], c.off); err != nil && err != io.EOF {
-					return Figure{}, err
+					return Point{}, err
 				}
 				m.K.ChargeCPUBytes(c.n, cpuRate)
 			}
@@ -107,14 +107,17 @@ func EHints(cfg Config) (Figure, error) {
 					adv.WillNeed(f, off+cfg.BufSize, int64(hints.Depth)*cfg.BufSize)
 				}
 				if _, err := f.ReadAt(buf[:n], off); err != nil && err != io.EOF {
-					return Figure{}, err
+					return Point{}, err
 				}
 				m.K.ChargeCPUBytes(n, cpuRate)
 			}
 		}
 		f.Close()
 		sec := float64(m.K.Clock.Now()-start) / float64(simclock.Second)
-		pts = append(pts, Point{X: float64(i), Mean: sec})
+		return Point{X: float64(i), Mean: sec}, nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "ehints",
@@ -148,7 +151,7 @@ func ETreeGrep(cfg Config) (Figure, error) {
 	const numFiles = 8
 
 	run := func(strategy treeGrepStrategy) (sec float64, faults int64, err error) {
-		m, err := BootMachine(cfg, ProfileUnix)
+		m, err := BootMachine(cfg.forPoint("etreegrep", int(strategy)), ProfileUnix)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -158,7 +161,9 @@ func ETreeGrep(cfg Config) (Figure, error) {
 		var paths []string
 		for i := 0; i < numFiles; i++ {
 			p := fmt.Sprintf("/data/src/file%02d.c", i)
-			c := workload.NewText(uint64(cfg.Seed)+uint64(i), fileSize, cfg.PageSize)
+			// File contents are strategy-independent: every strategy greps
+			// the identical tree.
+			c := workload.NewText(fileSeed(cfg, "etreegrep", i), fileSize, cfg.PageSize)
 			workload.PlantMatch(c, fileSize/2, needleBase)
 			if _, err := m.K.Create(p, m.Disk, c); err != nil {
 				return 0, 0, err
@@ -205,14 +210,25 @@ func ETreeGrep(cfg Config) (Figure, error) {
 		return float64(m.K.Clock.Now()-start) / float64(simclock.Second), m.K.RunStats().Faults, nil
 	}
 
-	var timePts, faultPts []Point
-	for _, st := range []treeGrepStrategy{treeNameOrder, treeFileSets, treeFullSLEDs} {
+	type treePoint struct{ time, faults Point }
+	points, err := RunGrid(cfg, 3, func(i int) (treePoint, error) {
+		st := treeGrepStrategy(i)
 		sec, faults, err := run(st)
 		if err != nil {
-			return Figure{}, err
+			return treePoint{}, err
 		}
-		timePts = append(timePts, Point{X: float64(st), Mean: sec})
-		faultPts = append(faultPts, Point{X: float64(st), Mean: float64(faults)})
+		return treePoint{
+			Point{X: float64(st), Mean: sec},
+			Point{X: float64(st), Mean: float64(faults)},
+		}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var timePts, faultPts []Point
+	for _, p := range points {
+		timePts = append(timePts, p.time)
+		faultPts = append(faultPts, p.faults)
 	}
 	return Figure{
 		ID:     "etreegrep",
@@ -236,13 +252,14 @@ func ERemote(cfg Config) (EHSMResult, error) {
 	cfg.validate()
 	size := cfg.Sizes[len(cfg.Sizes)/2-1]
 
-	run := func(useSLEDs bool) (float64, error) {
+	run := func(mode int) (float64, error) {
+		useSLEDs := mode == 1
 		mem := device.NewMem(device.Table2MemConfig(0))
 		k := vfs.NewKernel(vfs.Config{
 			PageSize:   cfg.PageSize,
 			CachePages: cfg.CachePages,
 			MemDevice:  mem,
-			JitterSeed: cfg.Seed,
+			JitterSeed: PointSeed(cfg.Seed, "eremote", 0, mode),
 			JitterFrac: cfg.JitterFrac,
 		})
 		k.AttachDevice(mem)
@@ -259,7 +276,7 @@ func ERemote(cfg Config) (EHSMResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		c := workload.NewText(uint64(cfg.Seed), size, cfg.PageSize)
+		c := workload.NewText(fileSeed(cfg, "eremote", 0), size, cfg.PageSize)
 		workload.PlantMatch(c, size-size/4, needleBase)
 		if _, err := k.Create("/net/testfile", mount.Device(), c); err != nil {
 			return 0, err
@@ -288,14 +305,11 @@ func ERemote(cfg Config) (EHSMResult, error) {
 		return float64(k.Clock.Now()-start) / float64(simclock.Second), nil
 	}
 
-	without, err := run(false)
+	secs, err := RunGrid(cfg, 2, func(mode int) (float64, error) { return run(mode) })
 	if err != nil {
 		return EHSMResult{}, err
 	}
-	with, err := run(true)
-	if err != nil {
-		return EHSMResult{}, err
-	}
+	without, with := secs[0], secs[1]
 	res := EHSMResult{WithoutSeconds: without, WithSeconds: with, Speedup: without / with}
 	res.Figure = Figure{
 		ID: "eremote", Title: "grep -q on a remote file with a server-cached tail",
@@ -315,71 +329,81 @@ func ERemote(cfg Config) (EHSMResult, error) {
 // error.
 func EAccuracy(cfg Config) (Figure, error) {
 	cfg.validate()
-	var series []Series
-	for _, fs := range []string{"ext2", "cdrom", "nfs"} {
-		var pts []Point
-		for _, size := range cfg.Sizes {
-			m, err := BootMachine(cfg, ProfileUnix)
-			if err != nil {
-				return Figure{}, err
-			}
-			// Place the file mid-device: the table entry models average
-			// positioning and a representative zone, so a file at offset
-			// zero (no seek, fastest zone) would bias the comparison.
-			dev, err := m.DeviceByName(fs)
-			if err != nil {
-				return Figure{}, err
-			}
-			devSize := m.K.Devices.Get(dev).Info().Size
-			if _, err := m.K.ReserveExtent(dev, devSize*2/5); err != nil {
-				return Figure{}, err
-			}
-			if _, err := textFileOn(m, fs, uint64(cfg.Seed)+uint64(size), size, cfg.PageSize); err != nil {
-				return Figure{}, err
-			}
-			n, err := m.K.Stat("/data/testfile")
-			if err != nil {
-				return Figure{}, err
-			}
-			est, err := sledlib.TotalDeliveryTime(m.K, m.Table, n, core.PlanLinear)
-			if err != nil {
-				return Figure{}, err
-			}
-			f, err := m.K.Open("/data/testfile")
-			if err != nil {
-				return Figure{}, err
-			}
-			m.K.ResetDeviceState()
-			actual, err := elapsedSeconds(m, func() error {
-				// Page-in only: the estimate covers retrieval, not the
-				// user-space copy, so measure via the mapped read path,
-				// streaming in large requests as lmbench's bandwidth
-				// probe does (per-request overhead is not part of the
-				// estimate's model).
-				const stream = int64(256 << 10)
-				buf := make([]byte, stream)
-				for off := int64(0); off < size; off += stream {
-					nn := stream
-					if off+nn > size {
-						nn = size - off
-					}
-					if _, err := f.ReadAtMapped(buf[:nn], off); err != nil && err != io.EOF {
-						return err
-					}
-				}
-				return nil
-			})
-			f.Close()
-			if err != nil {
-				return Figure{}, err
-			}
-			errPct := 100 * (est - actual) / actual
-			if math.IsNaN(errPct) || math.IsInf(errPct, 0) {
-				return Figure{}, fmt.Errorf("EAccuracy: degenerate error for %s at %d", fs, size)
-			}
-			pts = append(pts, Point{X: mbOf(size), Mean: errPct})
+	fss := []string{"ext2", "cdrom", "nfs"}
+	points, err := RunGrid(cfg, len(fss)*len(cfg.Sizes), func(i int) (Point, error) {
+		fs := fss[i/len(cfg.Sizes)]
+		sizeIdx := i % len(cfg.Sizes)
+		size := cfg.Sizes[sizeIdx]
+		exp := "eaccuracy-" + fs
+		m, err := BootMachine(cfg.forPoint(exp, sizeIdx), ProfileUnix)
+		if err != nil {
+			return Point{}, err
 		}
-		series = append(series, Series{Name: fs, Points: pts})
+		// Place the file mid-device: the table entry models average
+		// positioning and a representative zone, so a file at offset
+		// zero (no seek, fastest zone) would bias the comparison.
+		dev, err := m.DeviceByName(fs)
+		if err != nil {
+			return Point{}, err
+		}
+		devSize := m.K.Devices.Get(dev).Info().Size
+		if _, err := m.K.ReserveExtent(dev, devSize*2/5); err != nil {
+			return Point{}, err
+		}
+		if _, err := textFileOn(m, fs, fileSeed(cfg, exp, sizeIdx), size, cfg.PageSize); err != nil {
+			return Point{}, err
+		}
+		n, err := m.K.Stat("/data/testfile")
+		if err != nil {
+			return Point{}, err
+		}
+		est, err := sledlib.TotalDeliveryTime(m.K, m.Table, n, core.PlanLinear)
+		if err != nil {
+			return Point{}, err
+		}
+		f, err := m.K.Open("/data/testfile")
+		if err != nil {
+			return Point{}, err
+		}
+		m.K.ResetDeviceState()
+		actual, err := elapsedSeconds(m, func() error {
+			// Page-in only: the estimate covers retrieval, not the
+			// user-space copy, so measure via the mapped read path,
+			// streaming in large requests as lmbench's bandwidth
+			// probe does (per-request overhead is not part of the
+			// estimate's model).
+			const stream = int64(256 << 10)
+			buf := make([]byte, stream)
+			for off := int64(0); off < size; off += stream {
+				nn := stream
+				if off+nn > size {
+					nn = size - off
+				}
+				if _, err := f.ReadAtMapped(buf[:nn], off); err != nil && err != io.EOF {
+					return err
+				}
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return Point{}, err
+		}
+		errPct := 100 * (est - actual) / actual
+		if math.IsNaN(errPct) || math.IsInf(errPct, 0) {
+			return Point{}, fmt.Errorf("EAccuracy: degenerate error for %s at %d", fs, size)
+		}
+		return Point{X: mbOf(size), Mean: errPct}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	var series []Series
+	for fi, fs := range fss {
+		series = append(series, Series{
+			Name:   fs,
+			Points: points[fi*len(cfg.Sizes) : (fi+1)*len(cfg.Sizes)],
+		})
 	}
 	return Figure{
 		ID:     "eaccuracy",

@@ -22,48 +22,56 @@ func imageForSize(size int64) (fits.Image, error) {
 }
 
 // fimSweep drives one of the two LHEASOFT applications across the
-// LHEASOFT size sweep in both modes. runApp executes the application once
-// against /data/img.fits, writing outPath.
-func fimSweep(cfg Config, runApp func(m *Machine, useSLEDs bool, outPath string) error) (without, with Series, err error) {
+// LHEASOFT size sweep in both modes, fanning points out on the configured
+// worker pool. exp names the experiment for per-point seed derivation;
+// runApp executes the application once against /data/img.fits, writing
+// outPath.
+func fimSweep(cfg Config, exp string, runApp func(m *Machine, useSLEDs bool, outPath string) error) (without, with Series, err error) {
 	cfg.validate()
 	without = Series{Name: "without SLEDs"}
 	with = Series{Name: "with SLEDs"}
-	for _, size := range cfg.LHEASizes() {
-		im, err := imageForSize(size)
+	sizes := cfg.LHEASizes()
+	points, err := RunGrid(cfg, 2*len(sizes), func(i int) (Point, error) {
+		sizeIdx, mode := i/2, i%2
+		im, err := imageForSize(sizes[sizeIdx])
 		if err != nil {
-			return without, with, err
+			return Point{}, err
 		}
-		for _, useSLEDs := range []bool{false, true} {
-			m, err := BootMachine(cfg, ProfileLHEA)
-			if err != nil {
-				return without, with, err
+		m, err := BootMachine(cfg.forPoint(exp, sizeIdx, mode), ProfileLHEA)
+		if err != nil {
+			return Point{}, err
+		}
+		content := fits.NewContent(im, fileSeed(cfg, exp, sizeIdx), cfg.PageSize)
+		if _, err := m.K.Create("/data/img.fits", m.Disk, content); err != nil {
+			return Point{}, err
+		}
+		useSLEDs := mode == 1
+		outN := 0
+		elapsed, _, err := measured(cfg, m, func(int) error {
+			outN++
+			out := fmt.Sprintf("/data/out%03d.fits", outN)
+			if err := runApp(m, useSLEDs, out); err != nil {
+				return err
 			}
-			content := fits.NewContent(im, uint64(cfg.Seed)+uint64(size), cfg.PageSize)
-			if _, err := m.K.Create("/data/img.fits", m.Disk, content); err != nil {
-				return without, with, err
-			}
-			outN := 0
-			elapsed, _, err := measured(cfg, m, func(int) error {
-				outN++
-				out := fmt.Sprintf("/data/out%03d.fits", outN)
-				if err := runApp(m, useSLEDs, out); err != nil {
-					return err
-				}
-				// The real tools are re-run over fresh output names; old
-				// outputs are removed to keep the directory bounded. The
-				// removal also drops the output's cached pages, as
-				// deleting a file does.
-				return m.K.Remove(out)
-			})
-			if err != nil {
-				return without, with, err
-			}
-			p := pointFrom(mbOf(im.FileSize()), elapsed.Summarize())
-			if useSLEDs {
-				with.Points = append(with.Points, p)
-			} else {
-				without.Points = append(without.Points, p)
-			}
+			// The real tools are re-run over fresh output names; old
+			// outputs are removed to keep the directory bounded. The
+			// removal also drops the output's cached pages, as
+			// deleting a file does.
+			return m.K.Remove(out)
+		})
+		if err != nil {
+			return Point{}, err
+		}
+		return pointFrom(mbOf(im.FileSize()), elapsed.Summarize()), nil
+	})
+	if err != nil {
+		return without, with, err
+	}
+	for i, p := range points {
+		if i%2 == 1 {
+			with.Points = append(with.Points, p)
+		} else {
+			without.Points = append(without.Points, p)
 		}
 	}
 	return without, with, nil
@@ -73,7 +81,7 @@ func fimSweep(cfg Config, runApp func(m *Machine, useSLEDs bool, outPath string)
 // cache, with and without SLEDs.
 func Fig14(cfg Config) (Figure, error) {
 	const bins = 64
-	without, with, err := fimSweep(cfg, func(m *Machine, useSLEDs bool, outPath string) error {
+	without, with, err := fimSweep(cfg, "fimhisto", func(m *Machine, useSLEDs bool, outPath string) error {
 		_, err := fitsapp.Fimhisto(m.Env(useSLEDs, cfg.BufSize), "/data/img.fits", outPath, bins, m.Disk)
 		return err
 	})
@@ -95,7 +103,7 @@ func Fig15(cfg Config) (Figure, error) { return Fig15Factor(cfg, 4) }
 
 // Fig15Factor is Fig15 with a selectable reduction factor (4 or 16).
 func Fig15Factor(cfg Config, factor int) (Figure, error) {
-	without, with, err := fimSweep(cfg, func(m *Machine, useSLEDs bool, outPath string) error {
+	without, with, err := fimSweep(cfg, fmt.Sprintf("fimgbin-x%d", factor), func(m *Machine, useSLEDs bool, outPath string) error {
 		_, err := fitsapp.Fimgbin(m.Env(useSLEDs, cfg.BufSize), "/data/img.fits", outPath, factor, m.Disk)
 		return err
 	})

@@ -28,7 +28,8 @@ func textFileOn(m *Machine, fs string, seed uint64, size int64, pageSize int) (*
 }
 
 // wcSweep runs wc across cfg.Sizes on the named file system, in both
-// modes, returning elapsed-time and fault series.
+// modes, returning elapsed-time and fault series. Points run on the
+// configured worker pool; point i is (size i/2, mode i%2).
 func wcSweep(cfg Config, fs string) (timeWithout, timeWith, faultsWithout, faultsWith Series, err error) {
 	cfg.validate()
 	timeWithout = Series{Name: "without SLEDs"}
@@ -36,33 +37,40 @@ func wcSweep(cfg Config, fs string) (timeWithout, timeWith, faultsWithout, fault
 	faultsWithout = Series{Name: "without SLEDs"}
 	faultsWith = Series{Name: "with SLEDs"}
 
-	for _, size := range cfg.Sizes {
-		for _, useSLEDs := range []bool{false, true} {
-			m, err := BootMachine(cfg, ProfileUnix)
-			if err != nil {
-				return timeWithout, timeWith, faultsWithout, faultsWith, err
-			}
-			if _, err := textFileOn(m, fs, uint64(cfg.Seed)+uint64(size), size, cfg.PageSize); err != nil {
-				return timeWithout, timeWith, faultsWithout, faultsWith, err
-			}
-			env := m.Env(useSLEDs, cfg.BufSize)
-			elapsed, faults, err := measured(cfg, m, func(int) error {
-				_, err := wcapp.Run(env, "/data/testfile")
-				return err
-			})
-			if err != nil {
-				return timeWithout, timeWith, faultsWithout, faultsWith, err
-			}
-			x := mbOf(size)
-			tp := pointFrom(x, elapsed.Summarize())
-			fp := pointFrom(x, faults.Summarize())
-			if useSLEDs {
-				timeWith.Points = append(timeWith.Points, tp)
-				faultsWith.Points = append(faultsWith.Points, fp)
-			} else {
-				timeWithout.Points = append(timeWithout.Points, tp)
-				faultsWithout.Points = append(faultsWithout.Points, fp)
-			}
+	exp := "wc-" + fs
+	type wcPoint struct{ time, faults Point }
+	points, err := RunGrid(cfg, 2*len(cfg.Sizes), func(i int) (wcPoint, error) {
+		sizeIdx, mode := i/2, i%2
+		size := cfg.Sizes[sizeIdx]
+		pcfg := cfg.forPoint(exp, sizeIdx, mode)
+		m, err := BootMachine(pcfg, ProfileUnix)
+		if err != nil {
+			return wcPoint{}, err
+		}
+		if _, err := textFileOn(m, fs, fileSeed(cfg, exp, sizeIdx), size, cfg.PageSize); err != nil {
+			return wcPoint{}, err
+		}
+		env := m.Env(mode == 1, cfg.BufSize)
+		elapsed, faults, err := measured(pcfg, m, func(int) error {
+			_, err := wcapp.Run(env, "/data/testfile")
+			return err
+		})
+		if err != nil {
+			return wcPoint{}, err
+		}
+		x := mbOf(size)
+		return wcPoint{pointFrom(x, elapsed.Summarize()), pointFrom(x, faults.Summarize())}, nil
+	})
+	if err != nil {
+		return timeWithout, timeWith, faultsWithout, faultsWith, err
+	}
+	for i, p := range points {
+		if i%2 == 1 {
+			timeWith.Points = append(timeWith.Points, p.time)
+			faultsWith.Points = append(faultsWith.Points, p.faults)
+		} else {
+			timeWithout.Points = append(timeWithout.Points, p.time)
+			faultsWithout.Points = append(faultsWithout.Points, p.faults)
 		}
 	}
 	return timeWithout, timeWith, faultsWithout, faultsWith, nil
@@ -110,39 +118,47 @@ func Fig10(cfg Config) (Figure, error) {
 	cfg.validate()
 	without := Series{Name: "without SLEDs"}
 	with := Series{Name: "with SLEDs"}
-	for _, size := range cfg.Sizes {
-		for _, useSLEDs := range []bool{false, true} {
-			m, err := BootMachine(cfg, ProfileUnix)
-			if err != nil {
-				return Figure{}, err
-			}
-			c, err := textFileOn(m, "cdrom", uint64(cfg.Seed)+uint64(size), size, cfg.PageSize)
-			if err != nil {
-				return Figure{}, err
-			}
-			// One planted match per cache-quarter of file, spread evenly.
-			step := cfg.CacheBytes() / 4
-			rng := uint64(cfg.Seed) * 0x9e3779b97f4a7c15
-			for off := step / 2; off < size; off += step {
-				rng ^= rng << 13
-				rng ^= rng >> 7
-				rng ^= rng << 17
-				workload.PlantMatch(c, off+int64(rng%4096), needleBase)
-			}
-			env := m.Env(useSLEDs, cfg.BufSize)
-			elapsed, _, err := measured(cfg, m, func(int) error {
-				_, err := grepapp.Run(env, "/data/testfile", needleBase, grepapp.Options{})
-				return err
-			})
-			if err != nil {
-				return Figure{}, err
-			}
-			p := pointFrom(mbOf(size), elapsed.Summarize())
-			if useSLEDs {
-				with.Points = append(with.Points, p)
-			} else {
-				without.Points = append(without.Points, p)
-			}
+	const exp = "grep-all-cdrom"
+	points, err := RunGrid(cfg, 2*len(cfg.Sizes), func(i int) (Point, error) {
+		sizeIdx, mode := i/2, i%2
+		size := cfg.Sizes[sizeIdx]
+		m, err := BootMachine(cfg.forPoint(exp, sizeIdx, mode), ProfileUnix)
+		if err != nil {
+			return Point{}, err
+		}
+		c, err := textFileOn(m, "cdrom", fileSeed(cfg, exp, sizeIdx), size, cfg.PageSize)
+		if err != nil {
+			return Point{}, err
+		}
+		// One planted match per cache-quarter of file, spread evenly; the
+		// offsets derive from the mode-independent file seed so both modes
+		// search the same planted positions.
+		step := cfg.CacheBytes() / 4
+		rng := fileSeed(cfg, exp, sizeIdx) | 1
+		for off := step / 2; off < size; off += step {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			workload.PlantMatch(c, off+int64(rng%4096), needleBase)
+		}
+		env := m.Env(mode == 1, cfg.BufSize)
+		elapsed, _, err := measured(cfg, m, func(int) error {
+			_, err := grepapp.Run(env, "/data/testfile", needleBase, grepapp.Options{})
+			return err
+		})
+		if err != nil {
+			return Point{}, err
+		}
+		return pointFrom(mbOf(size), elapsed.Summarize()), nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, p := range points {
+		if i%2 == 1 {
+			with.Points = append(with.Points, p)
+		} else {
+			without.Points = append(without.Points, p)
 		}
 	}
 	return Figure{
@@ -157,17 +173,22 @@ func Fig10(cfg Config) (Figure, error) {
 // searches for a distinct needle planted at a per-run pseudo-random
 // offset, so the match position varies across runs exactly as in the
 // paper ("a single match that was placed randomly in the test file").
-func grepFirstPoint(cfg Config, fs string, size int64, useSLEDs bool, runs int) (*stats.Sample, error) {
+// pcfg is the point's derived configuration (point-local jitter);
+// baseSeed is the sweep's underived base seed. File content and needle
+// positions derive from (baseSeed, size) only — mode-independent, so a
+// with/without pair reads the same file and the same match positions.
+func grepFirstPoint(pcfg Config, baseSeed int64, fs string, size int64, useSLEDs bool, runs int) (*stats.Sample, error) {
+	cfg := pcfg
 	m, err := BootMachine(cfg, ProfileUnix)
 	if err != nil {
 		return nil, err
 	}
-	c, err := textFileOn(m, fs, uint64(cfg.Seed)+uint64(size), size, cfg.PageSize)
+	c, err := textFileOn(m, fs, uint64(baseSeed)+uint64(size), size, cfg.PageSize)
 	if err != nil {
 		return nil, err
 	}
 	// Plant one distinct needle per run (plus one for the warm-up).
-	rng := uint64(cfg.Seed)*6364136223846793005 + uint64(size)
+	rng := uint64(baseSeed)*6364136223846793005 + uint64(size)
 	needles := make([]string, runs+1)
 	for i := range needles {
 		rng = rng*6364136223846793005 + 1442695040888963407
@@ -204,18 +225,25 @@ func Fig11And12(cfg Config) (Figure, Figure, error) {
 	cfg.validate()
 	without := Series{Name: "without SLEDs"}
 	with := Series{Name: "with SLEDs"}
-	for _, size := range cfg.Sizes {
-		for _, useSLEDs := range []bool{false, true} {
-			s, err := grepFirstPoint(cfg, "ext2", size, useSLEDs, cfg.Runs)
-			if err != nil {
-				return Figure{}, Figure{}, err
-			}
-			p := pointFrom(mbOf(size), s.Summarize())
-			if useSLEDs {
-				with.Points = append(with.Points, p)
-			} else {
-				without.Points = append(without.Points, p)
-			}
+	const exp = "grepq-ext2"
+	points, err := RunGrid(cfg, 2*len(cfg.Sizes), func(i int) (Point, error) {
+		sizeIdx, mode := i/2, i%2
+		size := cfg.Sizes[sizeIdx]
+		s, err := grepFirstPoint(cfg.forPoint(exp, sizeIdx, mode), cfg.Seed, "ext2", size,
+			mode == 1, cfg.Runs)
+		if err != nil {
+			return Point{}, err
+		}
+		return pointFrom(mbOf(size), s.Summarize()), nil
+	})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	for i, p := range points {
+		if i%2 == 1 {
+			with.Points = append(with.Points, p)
+		} else {
+			without.Points = append(without.Points, p)
 		}
 	}
 	f11 := Figure{
@@ -242,11 +270,17 @@ func Fig13(cfg Config) (Figure, error) {
 	if runs <= 0 {
 		runs = cfg.Runs
 	}
-	var series []Series
-	for _, useSLEDs := range []bool{true, false} {
-		s, err := grepFirstPoint(cfg, "nfs", size, useSLEDs, runs)
+	const exp = "grepq-cdf-nfs"
+	series, err := RunGrid(cfg, 2, func(i int) (Series, error) {
+		useSLEDs := i == 0 // with-SLEDs series renders first
+		mode := 0
+		if useSLEDs {
+			mode = 1
+		}
+		s, err := grepFirstPoint(cfg.forPoint(exp, 0, mode), cfg.Seed, "nfs", size,
+			useSLEDs, runs)
 		if err != nil {
-			return Figure{}, err
+			return Series{}, err
 		}
 		cdf := stats.NewCDF(s.Values())
 		name := "without SLEDs"
@@ -260,7 +294,10 @@ func Fig13(cfg Config) (Figure, error) {
 		for _, xy := range cdf.Points() {
 			pts = append(pts, Point{X: xy[1], Mean: xy[0]})
 		}
-		series = append(series, Series{Name: name, Points: pts})
+		return Series{Name: name, Points: pts}, nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
 	return Figure{
 		ID:     "fig13",
