@@ -2,8 +2,9 @@
 # the same checks the workflow does, in the same order.
 
 GO ?= go
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build vet fmt test race bench determinism ci
+.PHONY: build vet fmt staticcheck test race bench determinism ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +18,11 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# staticcheck runs pinned via the module cache; no checked-in tool
+# dependency. Needs network on the first run to fetch the tool.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 test:
 	$(GO) test ./...
@@ -35,5 +41,9 @@ determinism:
 	$(GO) run ./cmd/sledsbench -scale quick -workers 4 > /tmp/sledsbench-w4.txt
 	diff /tmp/sledsbench-w1.txt /tmp/sledsbench-w4.txt
 	@echo "deterministic: quick-scale output is byte-identical at 1 and 4 workers"
+	$(GO) run ./cmd/sledsbench -scale quick -exp econtend,eloadsled -workers 1 > /tmp/sledsbench-contend-w1.txt
+	$(GO) run ./cmd/sledsbench -scale quick -exp econtend,eloadsled -workers 4 > /tmp/sledsbench-contend-w4.txt
+	diff /tmp/sledsbench-contend-w1.txt /tmp/sledsbench-contend-w4.txt
+	@echo "deterministic: contention experiments are byte-identical at 1 and 4 workers"
 
-ci: build vet fmt test race determinism
+ci: build vet fmt staticcheck test race determinism

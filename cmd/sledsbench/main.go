@@ -36,17 +36,28 @@ var knownExps = []string{
 	"t2", "t3", "t4", "f3",
 	"f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f15x16",
 	"efind", "egmc", "ehsm", "eremote", "ehints", "etreegrep", "eaccuracy",
+	"econtend", "eloadsled",
 	"ablation-policy", "ablation-pickorder", "ablation-refresh",
 	"ablation-readahead", "ablation-mmap", "ablation-zones",
 }
 
 func main() {
 	scale := flag.String("scale", "paper", "configuration scale: paper | quick")
-	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,ablations")
+	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,econtend,eloadsled,ablations")
 	runs := flag.Int("runs", 0, "override measured runs per point (0 = configuration default)")
 	workers := flag.Int("workers", 0, "experiment points run in parallel (0 = GOMAXPROCS); output is identical at any value")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
+	list := flag.Bool("list", false, "print the valid experiment ids, one per line, and exit")
 	flag.Parse()
+
+	if *list {
+		valid := append([]string(nil), knownExps...)
+		sort.Strings(valid)
+		for _, id := range valid {
+			fmt.Println(id)
+		}
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -269,6 +280,16 @@ func main() {
 	})
 	run("eaccuracy", func() (string, error) {
 		f, err := experiments.EAccuracy(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("econtend", func() (string, error) {
+		f, err := experiments.EContention(cfg)
+		writeCSV(f)
+		return f.Render(), err
+	})
+	run("eloadsled", func() (string, error) {
+		f, err := experiments.ELoadSLED(cfg)
 		writeCSV(f)
 		return f.Render(), err
 	})

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"sleds/internal/device"
+	"sleds/internal/simclock"
 	"sleds/internal/vfs"
 )
 
@@ -73,6 +74,19 @@ type ZoneEntry struct {
 	Entry
 }
 
+// Load reports the live queueing state of a device. It is implemented by
+// internal/iosched's Engine; the table uses it to make SLED latency
+// estimates load-aware (§6: estimates "must reflect dynamic conditions"
+// — under contention, queueing dominates positioning).
+type Load interface {
+	// QueueDepth is the number of requests waiting (not yet dispatched)
+	// at the device.
+	QueueDepth(id device.ID) int
+	// InFlightRemaining is the service time the request currently on the
+	// device still needs, as seen from virtual time now.
+	InFlightRemaining(id device.ID, now simclock.Duration) simclock.Duration
+}
+
 // Table is the kernel sleds table: one entry for primary memory and one
 // (or, with the zone extension, several) per device. It is filled at boot
 // by measuring the devices — see internal/lmbench — exactly as the paper
@@ -82,6 +96,7 @@ type Table struct {
 	devs    map[device.ID]Entry
 	zones   map[device.ID][]ZoneEntry
 	haveMem bool
+	load    Load
 }
 
 // NewTable returns an empty table.
@@ -144,6 +159,45 @@ func (t *Table) Device(id device.ID) (Entry, bool) {
 	return e, ok
 }
 
+// SetLoad attaches a live queueing-state source. Subsequent queries fold
+// the device's current queue depth and in-flight service time into the
+// latency estimates; nil detaches.
+func (t *Table) SetLoad(l Load) { t.load = l }
+
+// underLoad inflates a device entry by its current queueing state at
+// virtual time now: the first byte cannot arrive before the in-flight
+// request drains and every queued request ahead is positioned, so
+//
+//	latency' = latency*(1+depth) + inFlightRemaining
+//
+// using the calibrated per-request latency as the service estimate for
+// each queued request (transfer sizes of queued requests are unknown to
+// the table, exactly as they are to a real kernel's estimator). Bandwidth
+// is unchanged: once flowing, the stream runs at device speed.
+func (t *Table) underLoad(id device.ID, e Entry, now simclock.Duration) Entry {
+	if t.load == nil {
+		return e
+	}
+	depth := t.load.QueueDepth(id)
+	rem := t.load.InFlightRemaining(id, now)
+	if depth == 0 && rem == 0 {
+		return e
+	}
+	e.Latency = e.Latency*float64(1+depth) + rem.Seconds()
+	return e
+}
+
+// DeviceUnderLoad returns the entry for a device with the current
+// queueing state folded into the latency — the estimate FSLEDS_GET
+// reports for this device's uncached pages at virtual time now.
+func (t *Table) DeviceUnderLoad(id device.ID, now simclock.Duration) (Entry, bool) {
+	e, ok := t.devs[id]
+	if !ok {
+		return e, false
+	}
+	return t.underLoad(id, e, now), true
+}
+
 // deviceAt returns the entry in effect at a device byte offset, consulting
 // zones when installed.
 func (t *Table) deviceAt(id device.ID, off int64) (Entry, bool) {
@@ -188,6 +242,9 @@ func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 	}
 	ps := int64(k.PageSize())
 	pages := (size + ps - 1) / ps
+	// The scan is one consistent snapshot: queueing state is sampled once
+	// at the query instant, like the residency bits.
+	now := k.Clock.Now()
 
 	var out []SLED
 	for p := int64(0); p < pages; p++ {
@@ -204,6 +261,7 @@ func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 			if !ok {
 				return nil, fmt.Errorf("core: no sleds table entry for device %d (file %q)", dev, n.Name())
 			}
+			e = t.underLoad(dev, e, now)
 		}
 		length := ps
 		if (p+1)*ps > size {

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"sleds/internal/device"
+	"sleds/internal/simclock"
 	"sleds/internal/vfs"
 	"sleds/internal/workload"
 )
@@ -388,5 +389,112 @@ func TestPlanOrderingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// fakeLoad is a scripted core.Load for the load-awareness tests.
+type fakeLoad struct {
+	depth map[device.ID]int
+	rem   map[device.ID]simclock.Duration
+}
+
+func (l *fakeLoad) QueueDepth(id device.ID) int { return l.depth[id] }
+func (l *fakeLoad) InFlightRemaining(id device.ID, now simclock.Duration) simclock.Duration {
+	return l.rem[id]
+}
+
+func TestDeviceUnderLoadInflatesLatency(t *testing.T) {
+	_, disk, tab := testMachine(t, 64)
+	base, ok := tab.Device(disk)
+	if !ok {
+		t.Fatal("no disk entry")
+	}
+
+	// No load source attached: identical to the plain entry.
+	e, ok := tab.DeviceUnderLoad(disk, 0)
+	if !ok || e != base {
+		t.Fatalf("unloaded entry = %+v, want %+v", e, base)
+	}
+
+	load := &fakeLoad{
+		depth: map[device.ID]int{disk: 3},
+		rem:   map[device.ID]simclock.Duration{disk: 5 * simclock.Millisecond},
+	}
+	tab.SetLoad(load)
+	e, ok = tab.DeviceUnderLoad(disk, 0)
+	if !ok {
+		t.Fatal("entry vanished under load")
+	}
+	want := base.Latency*4 + 5e-3 // latency*(1+depth) + in-flight remaining
+	if math.Abs(e.Latency-want) > 1e-12 {
+		t.Fatalf("loaded latency = %v, want %v", e.Latency, want)
+	}
+	if e.Bandwidth != base.Bandwidth {
+		t.Fatalf("load changed bandwidth: %v != %v", e.Bandwidth, base.Bandwidth)
+	}
+
+	// Idle device through an attached source: no inflation.
+	load.depth[disk], load.rem[disk] = 0, 0
+	if e, _ := tab.DeviceUnderLoad(disk, 0); e != base {
+		t.Fatalf("idle loaded entry = %+v, want %+v", e, base)
+	}
+
+	// Detach: back to the plain entry even with stale load state around.
+	load.depth[disk] = 7
+	tab.SetLoad(nil)
+	if e, _ := tab.DeviceUnderLoad(disk, 0); e != base {
+		t.Fatalf("detached entry = %+v, want %+v", e, base)
+	}
+}
+
+func TestQueryFoldsLoadIntoUncachedPagesOnly(t *testing.T) {
+	k, disk, tab := testMachine(t, 64)
+	n, err := k.Create("/d/f", disk, workload.NewText(1, 10*testPage, testPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := k.Open("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Warm pages 3..6 so the query sees disk/mem/disk.
+	buf := make([]byte, 4*testPage)
+	f.ReadAt(buf, 3*testPage)
+
+	quiet, err := Query(k, tab, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tab.SetLoad(&fakeLoad{
+		depth: map[device.ID]int{disk: 2},
+		rem:   map[device.ID]simclock.Duration{disk: simclock.Millisecond},
+	})
+	loaded, err := Query(k, tab, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(loaded, n.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(quiet) {
+		t.Fatalf("load changed SLED structure: %d vs %d", len(loaded), len(quiet))
+	}
+	base, _ := tab.Device(disk)
+	wantDisk := base.Latency*3 + 1e-3
+	for i, s := range loaded {
+		if quiet[i].Latency == base.Latency {
+			// Uncached section: latency inflated, bandwidth untouched.
+			if math.Abs(s.Latency-wantDisk) > 1e-12 {
+				t.Fatalf("SLED %d latency %v, want %v", i, s.Latency, wantDisk)
+			}
+			if s.Bandwidth != quiet[i].Bandwidth {
+				t.Fatalf("SLED %d bandwidth changed under load", i)
+			}
+		} else if s != quiet[i] {
+			// Cached section: untouched by device load.
+			t.Fatalf("cached SLED %d changed under load: %v vs %v", i, s, quiet[i])
+		}
 	}
 }

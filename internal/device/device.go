@@ -112,6 +112,22 @@ func (r *Registry) Attach(d Device) ID {
 	return id
 }
 
+// Replace swaps the device registered under id for d, returning the
+// previous registrant. The replacement must report the same ID. This is
+// how internal/iosched interposes its queued wrappers after boot-time
+// calibration has measured the raw devices.
+func (r *Registry) Replace(id ID, d Device) Device {
+	if id < 0 || int(id) >= len(r.devices) {
+		panic(fmt.Sprintf("device: replacing unknown device ID %d", id))
+	}
+	if got := d.Info().ID; got != id {
+		panic(fmt.Sprintf("device: replacing ID %d with %q reporting ID %d", id, d.Info().Name, got))
+	}
+	old := r.devices[id]
+	r.devices[id] = d
+	return old
+}
+
 // Get returns the device with the given ID.
 func (r *Registry) Get(id ID) Device {
 	if id < 0 || int(id) >= len(r.devices) {
@@ -140,6 +156,9 @@ func (r *Registry) ResetAll() {
 func checkExtent(info Info, off, length int64) {
 	if off < 0 || length < 0 {
 		panic(fmt.Sprintf("device %q: negative extent (off=%d len=%d)", info.Name, off, length))
+	}
+	if off+length < off {
+		panic(fmt.Sprintf("device %q: extent (off=%d len=%d) overflows", info.Name, off, length))
 	}
 	if info.Size > 0 && off+length > info.Size {
 		panic(fmt.Sprintf("device %q: extent [%d,%d) beyond size %d", info.Name, off, off+length, info.Size))

@@ -449,3 +449,44 @@ func TestOrdersOfMagnitudeSpread(t *testing.T) {
 		t.Errorf("tape/mem latency ratio %.0f below 1e7", ratio)
 	}
 }
+
+func TestExtentOverflowPanics(t *testing.T) {
+	d := NewDisk(DefaultDiskConfig(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("off+length overflow did not panic")
+		}
+	}()
+	// off+length wraps negative, which would sail past the size check.
+	d.Read(simclock.New(), 1<<62, 1<<62+1<<61)
+}
+
+func TestRegistryReplace(t *testing.T) {
+	r := NewRegistry()
+	m := NewMem(DefaultMemConfig(0))
+	r.Attach(m)
+	d := NewDisk(DefaultDiskConfig(1))
+	r.Attach(d)
+
+	repl := NewDisk(DefaultDiskConfig(1))
+	if old := r.Replace(1, repl); old != Device(d) {
+		t.Fatalf("Replace returned %v, want the original disk", old)
+	}
+	if r.Get(1) != Device(repl) {
+		t.Fatalf("Get after Replace returned the old device")
+	}
+
+	for name, fn := range map[string]func(){
+		"unknown ID":    func() { r.Replace(5, repl) },
+		"mismatched ID": func() { r.Replace(0, NewDisk(DefaultDiskConfig(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Replace with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,117 @@
+package device
+
+import (
+	"reflect"
+	"testing"
+
+	"sleds/internal/simclock"
+)
+
+// testTapeConfig is a small library with round-number costs so expected
+// durations can be written out exactly: robot 10s, load 20s, unload 15s,
+// locate 1 MB/s, stream 1 MB/s, 2 drives, 4 x 16 MB cartridges.
+func testTapeConfig() TapeLibraryConfig {
+	return TapeLibraryConfig{
+		ID:            0,
+		Name:          "tapetest",
+		NumDrives:     2,
+		NumCartridges: 4,
+		CartridgeSize: 16 << 20,
+		RobotTime:     10 * simclock.Second,
+		LoadTime:      20 * simclock.Second,
+		UnloadTime:    15 * simclock.Second,
+		LocateRate:    float64(1 << 20),
+		Bandwidth:     float64(1 << 20),
+	}
+}
+
+// timed returns the virtual time one access takes.
+func timed(c *simclock.Clock, fn func()) simclock.Duration {
+	before := c.Now()
+	fn()
+	return c.Now() - before
+}
+
+func TestTapeBackToBackReadsOnMountedMedium(t *testing.T) {
+	tl := NewTapeLibrary(testTapeConfig())
+	c := simclock.New()
+
+	// First access: robot fetch + load + transfer (no locate: position 0).
+	first := timed(c, func() { tl.Read(c, 0, 1<<20) })
+	want := 10*simclock.Second + 20*simclock.Second + simclock.Second
+	if first != want {
+		t.Fatalf("cold read took %v, want %v (robot+load+transfer)", first, want)
+	}
+
+	// Second access continues on the mounted medium right where the head
+	// stopped: transfer only, no robot, no load, no locate.
+	second := timed(c, func() { tl.Read(c, 1<<20, 1<<20) })
+	if second != simclock.Second {
+		t.Fatalf("back-to-back read took %v, want 1s (transfer only)", second)
+	}
+
+	// A backward access on the same medium pays locate but still no
+	// exchange: head at 2 MB, target 0, locate 2 MB at 1 MB/s.
+	back := timed(c, func() { tl.Read(c, 0, 1<<20) })
+	if want := 3 * simclock.Second; back != want {
+		t.Fatalf("backward read on mounted medium took %v, want %v (locate+transfer)", back, want)
+	}
+}
+
+func TestTapeForcedRemountPaysExchange(t *testing.T) {
+	cfg := testTapeConfig()
+	tl := NewTapeLibrary(cfg)
+	c := simclock.New()
+	cart := cfg.CartridgeSize
+
+	// Fill both drives: cartridges 0 and 1.
+	tl.Read(c, 0, 1<<20)
+	tl.Read(c, cart, 1<<20)
+	if got := tl.MountedCartridges(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("mounted = %v, want [0 1]", got)
+	}
+
+	// Cartridge 2 forces an exchange of the least recently used drive
+	// (drive 0): unload + robot (return) + robot (fetch) + load + transfer.
+	third := timed(c, func() { tl.Read(c, 2*cart, 1<<20) })
+	want := 15*simclock.Second + 10*simclock.Second + 10*simclock.Second +
+		20*simclock.Second + simclock.Second
+	if third != want {
+		t.Fatalf("forced remount took %v, want %v (unload+2*robot+load+transfer)", third, want)
+	}
+	if got := tl.MountedCartridges(); !reflect.DeepEqual(got, []int{2, 1}) {
+		t.Fatalf("mounted after exchange = %v, want [2 1]", got)
+	}
+	if !tl.IsMounted(2*cart) || tl.IsMounted(0) {
+		t.Fatalf("IsMounted disagrees with MountedCartridges")
+	}
+
+	// Cartridge 1 is still mounted: no exchange, head mid-tape pays locate
+	// back to 0 (1 MB at 1 MB/s) plus the transfer.
+	again := timed(c, func() { tl.Read(c, cart, 1<<20) })
+	if want := 2 * simclock.Second; again != want {
+		t.Fatalf("read on still-mounted cartridge took %v, want %v", again, want)
+	}
+}
+
+func TestTapeResetRestoresPowerOnState(t *testing.T) {
+	cfg := testTapeConfig()
+	tl := NewTapeLibrary(cfg)
+	c := simclock.New()
+
+	tl.Read(c, 0, 1<<20)
+	tl.Read(c, cfg.CartridgeSize, 1<<20)
+
+	tl.Reset()
+	if got := tl.MountedCartridges(); !reflect.DeepEqual(got, []int{-1, -1}) {
+		t.Fatalf("mounted after Reset = %v, want [-1 -1]", got)
+	}
+
+	// Power-on state: the next access pays the full mount again, and the
+	// head position was cleared with the drive (no stale locate credit).
+	re := timed(c, func() { tl.Read(c, 0, 1<<20) })
+	want := 10*simclock.Second + 20*simclock.Second + simclock.Second
+	if re != want {
+		t.Fatalf("post-Reset read took %v, want %v (full mount again)", re, want)
+	}
+}

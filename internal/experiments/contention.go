@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sleds/internal/apps/grepapp"
+	"sleds/internal/core"
+	"sleds/internal/iosched"
+	"sleds/internal/simclock"
+	"sleds/internal/workload"
+)
+
+// The contention experiments exercise internal/iosched: several simulated
+// processes sharing one disk behind a request scheduler. They extend the
+// paper's single-process evaluation to the multi-process case its §6
+// anticipates — under contention the dominant latency term is queueing,
+// and SLED answers must reflect it.
+
+// contentionStreams is the stream-count sweep of the contention grid.
+var contentionStreams = []int{1, 2, 4, 8}
+
+// contentionSchedulers lists the policies the contention grid compares.
+var contentionSchedulers = []string{"fcfs", "sstf", "deadline"}
+
+// contentionPoint runs one (stream count, scheduler, mode) point: n
+// simulated grep processes, one file each on the shared disk, every file
+// with a cache-warm tail. Oblivious readers scan front to back, refaulting
+// tails that the other streams' insertions evict before they arrive;
+// SLED-guided readers consume the cached tails first. Returns the virtual
+// seconds from the engine base to the last stream's finish. One run per
+// point: the engine is deterministic, so there is no variance to sample.
+func contentionPoint(pcfg, baseCfg Config, nIdx, n int, sched string, useSLEDs bool) (float64, error) {
+	m, err := BootMachine(pcfg, ProfileUnix)
+	if err != nil {
+		return 0, err
+	}
+	ps := int64(pcfg.PageSize)
+	// Per-stream file size scales inversely with the stream count so the
+	// warmed tails (half of every file) total 3/4 of the cache at any n:
+	// they survive the warm-up, but the head insertions during the run
+	// (3/4 of the cache again) push them out long before an oblivious
+	// front-to-back reader arrives at them.
+	size := pcfg.CacheBytes() * 3 / 2 / int64(n) / ps * ps
+	tail := size / 2 / ps * ps
+	paths := make([]string, n)
+	for i := 0; i < n; i++ {
+		paths[i] = fmt.Sprintf("/data/s%d", i)
+		// File content derives from the base seed and the point's grid row
+		// only — never the mode or the scheduler — so every policy/mode
+		// cell of a row greps byte-identical files.
+		c := workload.NewText(fileSeed(baseCfg, "econtend", nIdx*16+i), size, pcfg.PageSize)
+		if _, err := m.K.Create(paths[i], m.Disk, c); err != nil {
+			return 0, err
+		}
+	}
+	buf := make([]byte, tail)
+	for _, path := range paths {
+		f, err := m.K.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := f.ReadAtMapped(buf, size-tail); err != nil {
+			f.Close()
+			return 0, err
+		}
+		f.Close()
+	}
+	// The warm-up positioned the disk head; start the measured contention
+	// run from power-on mechanical state, as measured() does between runs.
+	m.K.ResetDeviceState()
+	m.K.ResetRunStats()
+
+	e := iosched.NewEngine(m.K)
+	e.Queue(m.Disk, iosched.NewScheduler(sched))
+	m.Table.SetLoad(e)
+	env := m.Env(useSLEDs, pcfg.BufSize)
+	for _, path := range paths {
+		path := path
+		e.AddStream(0, func(h *iosched.Handle) error {
+			// needleBase never occurs and nothing is planted: the grep
+			// scans the whole file, matching nothing.
+			_, err := grepapp.Run(env, path, needleBase, grepapp.Options{})
+			return err
+		})
+	}
+	if err := e.Run(); err != nil {
+		return 0, err
+	}
+	var last simclock.Duration
+	for i := 0; i < n; i++ {
+		if f := e.FinishTime(iosched.StreamID(i)); f > last {
+			last = f
+		}
+	}
+	return float64(last-e.Base()) / float64(simclock.Second), nil
+}
+
+// EContention regenerates the contention sweep: total completion time of n
+// concurrent greps sharing one disk, for every scheduling policy, with and
+// without SLED-guided access ordering.
+func EContention(cfg Config) (Figure, error) {
+	cfg.validate()
+	nScheds := len(contentionSchedulers)
+	series := make([]Series, 2*nScheds)
+	for si, sched := range contentionSchedulers {
+		series[2*si] = Series{Name: sched + " with SLEDs"}
+		series[2*si+1] = Series{Name: sched + " without SLEDs"}
+	}
+	// Grid point i is (stream-count nIdx, scheduler si, mode): the column
+	// index varies fastest, one point per rendered cell.
+	cols := 2 * nScheds
+	points, err := RunGrid(cfg, len(contentionStreams)*cols, func(i int) (Point, error) {
+		nIdx, col := i/cols, i%cols
+		si, mode := col/2, 1-col%2 // with-SLEDs column first
+		n := contentionStreams[nIdx]
+		pcfg := cfg.forPoint("econtend", nIdx, si, mode)
+		sec, err := contentionPoint(pcfg, cfg, nIdx, n, contentionSchedulers[si], mode == 1)
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{X: float64(n), Mean: sec}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, p := range points {
+		col := i % cols
+		series[col].Points = append(series[col].Points, p)
+	}
+	return Figure{
+		ID:     "econtend",
+		Title:  "concurrent greps sharing one disk: total completion time by scheduler",
+		XLabel: "streams",
+		YLabel: "seconds to last finish",
+		Series: series,
+		Notes:  "files have cache-warm tails; oblivious readers refault tails evicted under contention, SLED-guided readers consume them first",
+	}, nil
+}
+
+// ELoadSLED regenerates the load-aware estimate sweep: what FSLEDS_GET
+// reports for a fully uncached file while n other processes keep the
+// disk's request queue full. The estimated latency must grow with the
+// queue depth (core.Table folds Load state into the table entry); the
+// unloaded table entry is flat for reference.
+func ELoadSLED(cfg Config) (Figure, error) {
+	cfg.validate()
+	loads := []int{0, 1, 2, 4, 8}
+	type loadPoint struct {
+		estimated float64 // SLED latency reported under load, seconds
+		unloaded  float64 // calibrated table latency, seconds
+		depth     float64 // disk queue depth at the query instant
+	}
+	points, err := RunGrid(cfg, len(loads), func(i int) (loadPoint, error) {
+		n := loads[i]
+		pcfg := cfg.forPoint("eloadsled", i)
+		m, err := BootMachine(pcfg, ProfileUnix)
+		if err != nil {
+			return loadPoint{}, err
+		}
+		ps := int64(pcfg.PageSize)
+		// The probed file: fully uncached, so every page reports the disk
+		// entry.
+		target, err := m.K.Create("/data/target", m.Disk,
+			workload.NewText(fileSeed(cfg, "eloadsled-target", i), 16*ps, pcfg.PageSize))
+		if err != nil {
+			return loadPoint{}, err
+		}
+		bgSize := pcfg.CacheBytes() / 2 / ps * ps
+		var bgPaths []string
+		for b := 0; b < n; b++ {
+			path := fmt.Sprintf("/data/bg%d", b)
+			c := workload.NewText(fileSeed(cfg, "eloadsled", i*16+b), bgSize, pcfg.PageSize)
+			if _, err := m.K.Create(path, m.Disk, c); err != nil {
+				return loadPoint{}, err
+			}
+			bgPaths = append(bgPaths, path)
+		}
+		e := iosched.NewEngine(m.K)
+		e.Queue(m.Disk, iosched.NewFCFS())
+		m.Table.SetLoad(e)
+		env := m.Env(false, pcfg.BufSize)
+		for _, path := range bgPaths {
+			path := path
+			e.AddStream(0, func(h *iosched.Handle) error {
+				_, err := grepapp.Run(env, path, needleBase, grepapp.Options{})
+				return err
+			})
+		}
+		var pt loadPoint
+		e.AddStream(0, func(h *iosched.Handle) error {
+			// Let the background streams saturate the queue, then ask.
+			h.Sleep(20 * simclock.Millisecond)
+			sleds, err := core.Query(m.K, m.Table, target)
+			if err != nil {
+				return err
+			}
+			if len(sleds) != 1 {
+				return fmt.Errorf("eloadsled: %d SLEDs for an uncached file, want 1", len(sleds))
+			}
+			pt.estimated = sleds[0].Latency
+			pt.depth = float64(e.QueueDepth(m.Disk))
+			return nil
+		})
+		if err := e.Run(); err != nil {
+			return loadPoint{}, err
+		}
+		base, ok := m.Table.Device(m.Disk)
+		if !ok {
+			return loadPoint{}, fmt.Errorf("eloadsled: no table entry for the disk")
+		}
+		pt.unloaded = base.Latency
+		return pt, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	est := Series{Name: "estimated latency"}
+	unl := Series{Name: "unloaded entry"}
+	dep := Series{Name: "queue depth"}
+	for i, p := range points {
+		x := float64(loads[i])
+		est.Points = append(est.Points, Point{X: x, Mean: p.estimated})
+		unl.Points = append(unl.Points, Point{X: x, Mean: p.unloaded})
+		dep.Points = append(dep.Points, Point{X: x, Mean: p.depth})
+	}
+	return Figure{
+		ID:     "eloadsled",
+		Title:  "FSLEDS_GET latency estimate for an uncached file vs disk load",
+		XLabel: "bg streams",
+		YLabel: "seconds (depth: requests)",
+		Series: []Series{est, unl, dep},
+		Notes:  "latency' = latency*(1+depth) + in-flight remaining; the estimate tracks the queue the probe would join",
+	}, nil
+}

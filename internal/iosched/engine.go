@@ -1,0 +1,462 @@
+// Package iosched adds multi-stream concurrency to the simulated storage
+// stack: simulated processes ("streams") that submit I/O concurrently in
+// virtual time, per-device request queues with pluggable scheduling
+// policies, and the queueing state feed that makes SLED estimates
+// load-aware (internal/core's Load interface).
+//
+// The paper's evaluation is single-process, but its §4/§6 discussion makes
+// clear that SLED estimates must reflect dynamic conditions; under
+// contention the dominant latency source is queueing, which this package
+// makes visible to both the simulator and the sleds table.
+//
+// # Determinism
+//
+// The engine is a discrete-event simulator: exactly one stream executes at
+// a time, and the engine always processes the lowest-timestamped pending
+// event. Events at equal virtual time are ordered resume-before-dispatch,
+// then by stream ID (resumes) or device ID (dispatches). Stream code runs
+// on goroutines only so that it can block inside deep call stacks (a grep
+// inside the VFS inside a device read); the engine hands control to one
+// goroutine and waits for it to block or finish before touching any state,
+// so execution is sequential, race-free, and byte-identical on every run
+// at any GOMAXPROCS.
+package iosched
+
+import (
+	"fmt"
+
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+	"sleds/internal/vfs"
+)
+
+// StreamID identifies one simulated process within an Engine.
+type StreamID int
+
+// streamState is the lifecycle of one stream.
+type streamState int
+
+const (
+	stateUnstarted streamState = iota
+	stateBlocked               // waiting for a request completion
+	stateSleeping              // waiting for a timer
+	stateDone
+)
+
+// event is what a running stream reports back to the engine when it stops
+// executing: it submitted a request, went to sleep, or finished.
+type event struct {
+	stream   StreamID
+	req      *Request          // non-nil: submitted and blocked
+	wake     simclock.Duration // valid when sleeping
+	sleeping bool
+	finished bool
+	err      error
+}
+
+// stream is the engine-side record of one simulated process.
+type stream struct {
+	id     StreamID
+	clock  *simclock.Clock
+	start  simclock.Duration // virtual start offset from the engine base
+	fn     func(h *Handle) error
+	resume chan simclock.Duration // engine -> stream: granted virtual time
+	state  streamState
+	wakeAt simclock.Duration // next resume time while unstarted/sleeping
+	finish simclock.Duration // clock at completion, valid when done
+	err    error
+}
+
+// devQueue is the engine-side state of one queued device.
+type devQueue struct {
+	id    device.ID
+	dev   device.Device // the unwrapped underlying device
+	sched Scheduler
+
+	clock        *simclock.Clock // the device's own service timeline
+	free         simclock.Duration
+	busy         bool
+	inflight     *Request
+	inflightDone simclock.Duration
+	lastPos      int64 // offset one past the last serviced request
+}
+
+// Engine coordinates streams and device queues over one shared kernel.
+type Engine struct {
+	k       *vfs.Kernel
+	queues  map[device.ID]*devQueue
+	order   []device.ID // queued devices in wrap order, for deterministic iteration
+	streams []*stream
+	events  chan event
+	seq     uint64
+	running bool
+	current StreamID
+	base    simclock.Duration
+}
+
+// NewEngine returns an engine over the kernel's devices. Wrap devices with
+// Queue, add streams with AddStream, then call Run.
+func NewEngine(k *vfs.Kernel) *Engine {
+	return &Engine{
+		k:      k,
+		queues: make(map[device.ID]*devQueue),
+		events: make(chan event),
+	}
+}
+
+// Queue interposes a request queue with the given scheduler on the device
+// registered under id. The wrapper satisfies device.Device, so the VFS and
+// the cache work unchanged; outside Run it passes accesses straight
+// through (boot-time calibration and setup I/O see the raw device).
+func (e *Engine) Queue(id device.ID, sched Scheduler) {
+	if e.running {
+		panic("iosched: Queue called while running")
+	}
+	if _, ok := e.queues[id]; ok {
+		panic(fmt.Sprintf("iosched: device %d already queued", id))
+	}
+	raw := e.k.Devices.Get(id)
+	dq := &devQueue{id: id, dev: raw, sched: sched, clock: simclock.New()}
+	e.queues[id] = dq
+	e.order = append(e.order, id)
+	e.k.Devices.Replace(id, &QueuedDevice{e: e, dq: dq})
+}
+
+// AddStream registers a simulated process that begins executing start
+// after the engine's base time. fn runs with the shared kernel; every
+// kernel call it makes is charged to the stream's own virtual clock.
+// Streams are resumed in (virtual time, StreamID) order.
+func (e *Engine) AddStream(start simclock.Duration, fn func(h *Handle) error) StreamID {
+	if e.running {
+		panic("iosched: AddStream called while running")
+	}
+	id := StreamID(len(e.streams))
+	e.streams = append(e.streams, &stream{
+		id:     id,
+		start:  start,
+		fn:     fn,
+		resume: make(chan simclock.Duration),
+	})
+	return id
+}
+
+// Handle is a stream's interface to the engine, passed to the stream
+// function. Streams otherwise interact with the engine implicitly, through
+// the queued devices underneath the kernel.
+type Handle struct {
+	e  *Engine
+	id StreamID
+}
+
+// ID returns the stream's identity.
+func (h *Handle) ID() StreamID { return h.e.streams[h.id].id }
+
+// Now reports the stream's current virtual time.
+func (h *Handle) Now() simclock.Duration { return h.e.streams[h.id].clock.Now() }
+
+// Sleep suspends the stream for d of virtual time. Other streams run
+// meanwhile; the engine wakes this one when the simulation reaches the
+// target instant.
+func (h *Handle) Sleep(d simclock.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("iosched: negative sleep %v", d))
+	}
+	st := h.e.streams[h.id]
+	h.e.events <- event{stream: h.id, sleeping: true, wake: st.clock.Now() + d}
+	granted := <-st.resume
+	st.clock.AdvanceTo(granted)
+}
+
+// Run executes all streams to completion in deterministic virtual-time
+// order and returns the first error by stream ID. The kernel's clock is
+// advanced to the latest stream finish time before returning, and the
+// kernel is left usable for single-stream code again.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("iosched: Run re-entered")
+	}
+	if len(e.streams) == 0 {
+		return nil
+	}
+	e.running = true
+	mainClock := e.k.Clock
+	e.base = mainClock.Now()
+	for _, dq := range e.queues {
+		dq.clock.AdvanceTo(e.base)
+		dq.free = e.base
+		dq.busy = false
+		dq.inflight = nil
+	}
+	for _, st := range e.streams {
+		st.clock = simclock.New()
+		st.clock.AdvanceTo(e.base + st.start)
+		st.state = stateUnstarted
+		st.wakeAt = e.base + st.start
+		e.launch(st)
+	}
+
+	for !e.allDone() {
+		ev, ok := e.nextEvent()
+		if !ok {
+			panic("iosched: no runnable event with streams outstanding")
+		}
+		switch ev.kind {
+		case evResume:
+			e.resumeStream(e.streams[ev.stream], ev.time)
+		case evDispatch:
+			e.dispatch(e.queues[ev.dev], ev.time)
+		}
+	}
+
+	var maxFinish simclock.Duration
+	for _, st := range e.streams {
+		if st.finish > maxFinish {
+			maxFinish = st.finish
+		}
+	}
+	mainClock.AdvanceTo(maxFinish)
+	e.k.SetClock(mainClock)
+	e.running = false
+	for _, st := range e.streams {
+		if st.err != nil {
+			return st.err
+		}
+	}
+	return nil
+}
+
+// launch starts the stream goroutine. It waits for its first resume grant,
+// runs the stream function, and reports completion. A panicking stream is
+// converted into a stream error so the engine cannot deadlock.
+func (e *Engine) launch(st *stream) {
+	go func() {
+		<-st.resume
+		err := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("iosched: stream %d panicked: %v", st.id, p)
+				}
+			}()
+			return st.fn(&Handle{e: e, id: st.id})
+		}()
+		e.events <- event{stream: st.id, finished: true, err: err}
+	}()
+}
+
+// engineEvent is one schedulable occurrence.
+type engineEvent struct {
+	time   simclock.Duration
+	kind   int // evResume before evDispatch at equal times
+	stream StreamID
+	dev    device.ID
+}
+
+const (
+	evResume   = 0 // a stream starts, wakes from sleep, or its request completes
+	evDispatch = 1 // an idle device begins servicing a queued request
+)
+
+// nextEvent selects the lowest (time, kind, id) pending event. Resumes at
+// a given instant are processed before dispatches at the same instant so
+// that a request submitted "now" by a just-woken stream is visible to the
+// scheduler deciding "now".
+func (e *Engine) nextEvent() (engineEvent, bool) {
+	var best engineEvent
+	have := false
+	consider := func(c engineEvent) {
+		if !have || c.time < best.time ||
+			(c.time == best.time && (c.kind < best.kind ||
+				(c.kind == best.kind && ((c.kind == evResume && c.stream < best.stream) ||
+					(c.kind == evDispatch && c.dev < best.dev))))) {
+			best = c
+			have = true
+		}
+	}
+	for _, st := range e.streams {
+		switch st.state {
+		case stateUnstarted, stateSleeping:
+			consider(engineEvent{time: st.wakeAt, kind: evResume, stream: st.id})
+		}
+	}
+	for _, id := range e.order {
+		dq := e.queues[id]
+		if dq.busy {
+			consider(engineEvent{time: dq.inflightDone, kind: evResume, stream: dq.inflight.Stream})
+		} else if dq.sched.Len() > 0 {
+			t, _ := dq.sched.MinArrival()
+			if t < dq.free {
+				t = dq.free
+			}
+			consider(engineEvent{time: t, kind: evDispatch, dev: id})
+		}
+	}
+	return best, have
+}
+
+// resumeStream hands control to one stream at virtual time t and blocks
+// until it submits, sleeps, or finishes. A completion resume also retires
+// the in-flight request on the stream's device.
+func (e *Engine) resumeStream(st *stream, t simclock.Duration) {
+	// Retire the completed request, if this resume is a completion.
+	if st.state == stateBlocked {
+		for _, id := range e.order {
+			dq := e.queues[id]
+			if dq.busy && dq.inflight.Stream == st.id && dq.inflightDone == t {
+				dq.busy = false
+				dq.free = dq.inflightDone
+				dq.lastPos = dq.inflight.Off + dq.inflight.Length
+				dq.inflight = nil
+				break
+			}
+		}
+	}
+	e.current = st.id
+	e.k.SetClock(st.clock)
+	st.resume <- t
+	ev := <-e.events
+	if ev.stream != st.id {
+		panic("iosched: event from a stream that was not running")
+	}
+	switch {
+	case ev.finished:
+		st.state = stateDone
+		st.finish = st.clock.Now()
+		st.err = ev.err
+	case ev.sleeping:
+		st.state = stateSleeping
+		st.wakeAt = ev.wake
+	default:
+		st.state = stateBlocked
+		e.queues[ev.req.Dev].sched.Add(ev.req)
+	}
+}
+
+// dispatch starts servicing the scheduler's pick on an idle device at
+// virtual time t, running the underlying device model on the device's own
+// timeline.
+func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
+	r := dq.sched.Pick(t, dq.lastPos)
+	if r == nil {
+		panic("iosched: dispatch with no eligible request")
+	}
+	dq.clock.AdvanceTo(t)
+	if r.Write {
+		dq.dev.Write(dq.clock, r.Off, r.Length)
+	} else {
+		dq.dev.Read(dq.clock, r.Off, r.Length)
+	}
+	dq.busy = true
+	dq.inflight = r
+	dq.inflightDone = dq.clock.Now()
+}
+
+// allDone reports whether every stream has finished.
+func (e *Engine) allDone() bool {
+	for _, st := range e.streams {
+		if st.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// submit is called from a stream goroutine (via a QueuedDevice) to queue a
+// request and block until its completion; it returns with c advanced to
+// the completion instant.
+func (e *Engine) submit(c *simclock.Clock, dev device.ID, off, length int64, write bool) {
+	st := e.streams[e.current]
+	r := &Request{
+		Stream:  st.id,
+		Dev:     dev,
+		Off:     off,
+		Length:  length,
+		Write:   write,
+		Arrival: c.Now(),
+		seq:     e.seq,
+	}
+	e.seq++
+	e.events <- event{stream: st.id, req: r}
+	granted := <-st.resume
+	c.AdvanceTo(granted)
+}
+
+// FinishTime reports a stream's virtual completion instant (meaningful
+// after Run).
+func (e *Engine) FinishTime(id StreamID) simclock.Duration {
+	return e.streams[id].finish
+}
+
+// Base reports the virtual time Run started from.
+func (e *Engine) Base() simclock.Duration { return e.base }
+
+// QueueDepth implements core.Load: the number of requests waiting (not
+// yet dispatched) at the device. Unqueued devices report 0.
+func (e *Engine) QueueDepth(id device.ID) int {
+	dq, ok := e.queues[id]
+	if !ok {
+		return 0
+	}
+	return dq.sched.Len()
+}
+
+// InFlightRemaining implements core.Load: the remaining service time of
+// the request the device is currently working on, as seen from virtual
+// time now. Idle or unqueued devices report 0.
+func (e *Engine) InFlightRemaining(id device.ID, now simclock.Duration) simclock.Duration {
+	dq, ok := e.queues[id]
+	if !ok || !dq.busy {
+		return 0
+	}
+	rem := dq.inflightDone - now
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// QueuedDevice wraps a device with the engine's request queue. It
+// satisfies device.Device, so internal/vfs and internal/cache use it
+// unchanged: a stream's read blocks in virtual time until the scheduler
+// has serviced it; outside Run the wrapper is transparent.
+type QueuedDevice struct {
+	e  *Engine
+	dq *devQueue
+}
+
+// Info implements device.Device.
+func (q *QueuedDevice) Info() device.Info { return q.dq.dev.Info() }
+
+// Read implements device.Device.
+func (q *QueuedDevice) Read(c *simclock.Clock, off, length int64) {
+	if !q.e.running {
+		q.dq.dev.Read(c, off, length)
+		return
+	}
+	q.e.submit(c, q.dq.id, off, length, false)
+}
+
+// Write implements device.Device.
+func (q *QueuedDevice) Write(c *simclock.Clock, off, length int64) {
+	if !q.e.running {
+		q.dq.dev.Write(c, off, length)
+		return
+	}
+	q.e.submit(c, q.dq.id, off, length, true)
+}
+
+// Underlying returns the wrapped raw device.
+func (q *QueuedDevice) Underlying() device.Device { return q.dq.dev }
+
+// Reset implements device.Device: the underlying device's mechanical
+// state and the queue position history are cleared. Resetting mid-run is
+// a programming error.
+func (q *QueuedDevice) Reset() {
+	if q.e.running {
+		panic("iosched: Reset while running")
+	}
+	q.dq.dev.Reset()
+	q.dq.lastPos = 0
+	q.dq.busy = false
+	q.dq.inflight = nil
+	q.dq.free = 0
+}

@@ -1,0 +1,343 @@
+package iosched
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+	"sleds/internal/vfs"
+	"sleds/internal/workload"
+)
+
+// fakeDev is a device with a fixed per-request service cost that records
+// the offsets it services, in order.
+type fakeDev struct {
+	id     device.ID
+	cost   simclock.Duration
+	served []int64
+}
+
+func (f *fakeDev) Info() device.Info {
+	return device.Info{ID: f.id, Name: "fake", Level: device.LevelDisk, Size: 1 << 40}
+}
+func (f *fakeDev) Read(c *simclock.Clock, off, length int64) {
+	f.served = append(f.served, off)
+	c.Advance(f.cost)
+}
+func (f *fakeDev) Write(c *simclock.Clock, off, length int64) { f.Read(c, off, length) }
+func (f *fakeDev) Reset()                                     {}
+
+// testKernel boots a minimal kernel with a fake device attached.
+func testKernel(t *testing.T, cost simclock.Duration) (*vfs.Kernel, *fakeDev, device.ID) {
+	t.Helper()
+	mem := device.NewMem(device.DefaultMemConfig(0))
+	k := vfs.NewKernel(vfs.Config{PageSize: 4096, CachePages: 64, MemDevice: mem})
+	k.AttachDevice(mem)
+	fd := &fakeDev{id: 1, cost: cost}
+	id := k.AttachDevice(fd)
+	return k, fd, id
+}
+
+// readDev issues one read on the (possibly queued) device through the
+// kernel registry, on the kernel's current clock.
+func readDev(k *vfs.Kernel, id device.ID, off int64) {
+	k.Devices.Get(id).Read(k.Clock, off, 4096)
+}
+
+func TestPassthroughOutsideRun(t *testing.T) {
+	k, fd, id := testKernel(t, 10*simclock.Millisecond)
+	e := NewEngine(k)
+	e.Queue(id, NewFCFS())
+	readDev(k, id, 123)
+	if got := k.Clock.Now(); got != 10*simclock.Millisecond {
+		t.Fatalf("passthrough read advanced clock to %v, want 10ms", got)
+	}
+	if !reflect.DeepEqual(fd.served, []int64{123}) {
+		t.Fatalf("served %v, want [123]", fd.served)
+	}
+}
+
+func TestFCFSOrderIsArrivalOrder(t *testing.T) {
+	k, fd, id := testKernel(t, 10*simclock.Millisecond)
+	e := NewEngine(k)
+	e.Queue(id, NewFCFS())
+	for _, off := range []int64{300, 100, 200} {
+		off := off
+		e.AddStream(0, func(h *Handle) error {
+			readDev(k, id, off)
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{300, 100, 200}; !reflect.DeepEqual(fd.served, want) {
+		t.Fatalf("FCFS served %v, want %v", fd.served, want)
+	}
+	// Completions serialize: streams finish 10, 20, 30 ms in.
+	for i, want := range []simclock.Duration{10, 20, 30} {
+		if got := e.FinishTime(StreamID(i)); got != want*simclock.Millisecond {
+			t.Fatalf("stream %d finished at %v, want %dms", i, got, want)
+		}
+	}
+}
+
+func TestSSTFOrderIsNearestFirst(t *testing.T) {
+	k, fd, id := testKernel(t, 10*simclock.Millisecond)
+	e := NewEngine(k)
+	e.Queue(id, NewSSTF())
+	for _, off := range []int64{300 << 20, 100 << 20, 200 << 20} {
+		off := off
+		e.AddStream(0, func(h *Handle) error {
+			readDev(k, id, off)
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Head starts at 0: nearest-first sweeps 100 MB, 200 MB, 300 MB —
+	// the reverse of the FCFS (submission) order.
+	if want := []int64{100 << 20, 200 << 20, 300 << 20}; !reflect.DeepEqual(fd.served, want) {
+		t.Fatalf("SSTF served %v, want %v", fd.served, want)
+	}
+}
+
+func TestDeadlineBoundsStarvation(t *testing.T) {
+	// Stream A asks for a far offset; stream B keeps the head busy near
+	// zero. Under SSTF, A waits for B to run dry; under deadline, A is
+	// served as soon as its expiry passes.
+	run := func(sched Scheduler) []int64 {
+		k, fd, id := testKernel(t, 10*simclock.Millisecond)
+		e := NewEngine(k)
+		e.Queue(id, sched)
+		e.AddStream(0, func(h *Handle) error {
+			readDev(k, id, 1<<30)
+			return nil
+		})
+		e.AddStream(0, func(h *Handle) error {
+			for i := int64(0); i < 5; i++ {
+				readDev(k, id, i*8192)
+			}
+			return nil
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fd.served
+	}
+	sstf := run(NewSSTF())
+	if sstf[len(sstf)-1] != 1<<30 {
+		t.Fatalf("SSTF should starve the far request to last, served %v", sstf)
+	}
+	dl := run(NewDeadline(1 * simclock.Millisecond))
+	if dl[1] != 1<<30 {
+		t.Fatalf("deadline should serve the expired far request second, served %v", dl)
+	}
+}
+
+func TestLoadProviderReportsQueueState(t *testing.T) {
+	k, _, id := testKernel(t, 10*simclock.Millisecond)
+	e := NewEngine(k)
+	e.Queue(id, NewFCFS())
+	for i := 0; i < 3; i++ {
+		e.AddStream(0, func(h *Handle) error {
+			readDev(k, id, 0)
+			return nil
+		})
+	}
+	type probe struct {
+		depth int
+		rem   simclock.Duration
+	}
+	var got probe
+	e.AddStream(0, func(h *Handle) error {
+		h.Sleep(5 * simclock.Millisecond)
+		got = probe{
+			depth: e.QueueDepth(id),
+			rem:   e.InFlightRemaining(id, h.Now()),
+		}
+		return nil
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// At 5ms: one request in flight (5 of 10 ms left), two queued.
+	if got.depth != 2 {
+		t.Fatalf("queue depth at 5ms = %d, want 2", got.depth)
+	}
+	if got.rem != 5*simclock.Millisecond {
+		t.Fatalf("in-flight remaining at 5ms = %v, want 5ms", got.rem)
+	}
+	if d := e.QueueDepth(device.ID(99)); d != 0 {
+		t.Fatalf("unqueued device depth = %d, want 0", d)
+	}
+}
+
+func TestStreamErrorAndPanicSurface(t *testing.T) {
+	k, _, id := testKernel(t, simclock.Millisecond)
+	e := NewEngine(k)
+	e.Queue(id, NewFCFS())
+	e.AddStream(0, func(h *Handle) error {
+		panic("boom")
+	})
+	e.AddStream(0, func(h *Handle) error {
+		readDev(k, id, 0)
+		return nil
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("want error from panicking stream")
+	}
+}
+
+// bootFileKernel builds a kernel with a real disk holding one file per
+// stream.
+func bootFileKernel(t *testing.T, files int, size int64) (*vfs.Kernel, device.ID, []string) {
+	t.Helper()
+	mem := device.NewMem(device.DefaultMemConfig(0))
+	k := vfs.NewKernel(vfs.Config{PageSize: 4096, CachePages: 256, MemDevice: mem})
+	k.AttachDevice(mem)
+	disk := k.AttachDevice(device.NewDisk(device.DefaultDiskConfig(1)))
+	if err := k.MkdirAll("/data"); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < files; i++ {
+		path := "/data/f" + string(rune('a'+i))
+		c := workload.NewText(uint64(i+1), size, 4096)
+		if _, err := k.Create(path, disk, c); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return k, disk, paths
+}
+
+// readAll reads a file to EOF in 16 KiB chunks.
+func readAll(k *vfs.Kernel, path string) error {
+	f, err := k.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16<<10)
+	for {
+		_, err := f.Read(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func TestSingleStreamMatchesUnqueuedTiming(t *testing.T) {
+	const size = 256 << 10
+	// Reference: plain sequential read, no engine.
+	kRef, _, pathsRef := bootFileKernel(t, 1, size)
+	if err := readAll(kRef, pathsRef[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := kRef.Clock.Now()
+
+	// Same reads as the only stream of an engine with a queued disk.
+	k, disk, paths := bootFileKernel(t, 1, size)
+	e := NewEngine(k)
+	e.Queue(disk, NewFCFS())
+	e.AddStream(0, func(h *Handle) error { return readAll(k, paths[0]) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Clock.Now(); got != want {
+		t.Fatalf("single queued stream elapsed %v, unqueued %v; queueing must be free without contention", got, want)
+	}
+}
+
+func TestMultiStreamDeterminism(t *testing.T) {
+	run := func() []simclock.Duration {
+		k, disk, paths := bootFileKernel(t, 4, 128<<10)
+		e := NewEngine(k)
+		e.Queue(disk, NewSSTF())
+		for i := range paths {
+			path := paths[i]
+			e.AddStream(simclock.Duration(i)*simclock.Millisecond, func(h *Handle) error {
+				return readAll(k, path)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]simclock.Duration, len(paths))
+		for i := range paths {
+			out[i] = e.FinishTime(StreamID(i))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged: %v vs %v", a, b)
+	}
+	// Contention must be visible: with 4 streams on one disk, the last
+	// finisher is later than a lone stream reading one file.
+	k, disk, paths := bootFileKernel(t, 1, 128<<10)
+	e := NewEngine(k)
+	e.Queue(disk, NewFCFS())
+	e.AddStream(0, func(h *Handle) error { return readAll(k, paths[0]) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lone := e.FinishTime(0)
+	var last simclock.Duration
+	for _, f := range a {
+		if f > last {
+			last = f
+		}
+	}
+	if last <= lone {
+		t.Fatalf("4-stream last finish %v not later than lone stream %v", last, lone)
+	}
+}
+
+func TestKernelClockRestoredAfterRun(t *testing.T) {
+	k, disk, paths := bootFileKernel(t, 2, 64<<10)
+	before := k.Clock
+	e := NewEngine(k)
+	e.Queue(disk, NewFCFS())
+	for i := range paths {
+		path := paths[i]
+		e.AddStream(0, func(h *Handle) error { return readAll(k, path) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Clock != before {
+		t.Fatal("kernel clock not restored to the pre-Run clock object")
+	}
+	var max simclock.Duration
+	for i := range paths {
+		if f := e.FinishTime(StreamID(i)); f > max {
+			max = f
+		}
+	}
+	if k.Clock.Now() != max {
+		t.Fatalf("kernel clock at %v, want max finish %v", k.Clock.Now(), max)
+	}
+}
+
+func TestSchedulerFactory(t *testing.T) {
+	for _, name := range []string{"fcfs", "sstf", "deadline"} {
+		if got := NewScheduler(name).Name(); got != name {
+			t.Fatalf("NewScheduler(%q).Name() = %q", name, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown scheduler name should panic")
+		}
+	}()
+	NewScheduler("nope")
+}

@@ -1,0 +1,233 @@
+package iosched
+
+import (
+	"fmt"
+
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+)
+
+// Request is one I/O request queued at a device: who asked, what extent,
+// and when. Arrival is the submitting stream's virtual time at submission;
+// Deadline is filled by deadline-aware schedulers.
+type Request struct {
+	Stream   StreamID
+	Dev      device.ID
+	Off      int64
+	Length   int64
+	Write    bool
+	Arrival  simclock.Duration
+	Deadline simclock.Duration
+
+	// seq is the engine-wide submission sequence number. Submission order
+	// is itself deterministic (the engine runs streams in virtual-time,
+	// stream-ID order), so seq is a stable final tie-break for schedulers.
+	seq uint64
+}
+
+// Scheduler is a pluggable per-device request scheduling policy. The
+// engine owns exactly one scheduler instance per queued device; schedulers
+// are not safe for concurrent use (the engine is strictly sequential).
+//
+// Determinism contract: Pick must break every tie by a deterministic key
+// (never map order or pointer identity), so that identical submission
+// sequences produce identical service orders on every run.
+type Scheduler interface {
+	// Name identifies the policy in reports ("fcfs", "sstf", "deadline").
+	Name() string
+
+	// Add queues a request.
+	Add(r *Request)
+
+	// Pick removes and returns the request to service next among those
+	// with Arrival <= now. pos is the device byte offset one past the
+	// previously serviced request (the head position proxy for seek-aware
+	// policies). Returns nil if no queued request is eligible yet.
+	Pick(now simclock.Duration, pos int64) *Request
+
+	// Len reports the number of queued (not yet serviced) requests.
+	Len() int
+
+	// MinArrival reports the earliest arrival among queued requests; ok is
+	// false when the queue is empty.
+	MinArrival() (t simclock.Duration, ok bool)
+}
+
+// queue is the shared request store: a slice in insertion (seq) order.
+// All three policies scan it; queues are bounded by the stream count, so
+// linear scans are cheaper than maintaining ordered structures.
+type queue struct {
+	reqs []*Request
+}
+
+func (q *queue) Add(r *Request) { q.reqs = append(q.reqs, r) }
+func (q *queue) Len() int       { return len(q.reqs) }
+func (q *queue) remove(idx int) *Request {
+	r := q.reqs[idx]
+	q.reqs = append(q.reqs[:idx], q.reqs[idx+1:]...)
+	return r
+}
+
+func (q *queue) MinArrival() (simclock.Duration, bool) {
+	if len(q.reqs) == 0 {
+		return 0, false
+	}
+	min := q.reqs[0].Arrival
+	for _, r := range q.reqs[1:] {
+		if r.Arrival < min {
+			min = r.Arrival
+		}
+	}
+	return min, true
+}
+
+// FCFS services requests strictly in arrival order (the no-scheduler
+// baseline: a single FIFO per device).
+type FCFS struct{ queue }
+
+// NewFCFS returns a first-come-first-served scheduler.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Scheduler.
+func (s *FCFS) Name() string { return "fcfs" }
+
+// Pick implements Scheduler: earliest arrival, seq tie-break.
+func (s *FCFS) Pick(now simclock.Duration, pos int64) *Request {
+	best := -1
+	for i, r := range s.reqs {
+		if r.Arrival > now {
+			continue
+		}
+		if best < 0 || r.Arrival < s.reqs[best].Arrival ||
+			(r.Arrival == s.reqs[best].Arrival && r.seq < s.reqs[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return s.remove(best)
+}
+
+// SSTF is shortest-seek-time-first: it services the eligible request whose
+// offset is nearest the device's current position, the classic elevator
+// family policy for seek-dominated devices (disk.go's three-term seek
+// curve makes distance-in-bytes a faithful proxy for distance-in-
+// cylinders, since cylinders are a linear slicing of the byte space).
+type SSTF struct{ queue }
+
+// NewSSTF returns a shortest-seek-time-first scheduler.
+func NewSSTF() *SSTF { return &SSTF{} }
+
+// Name implements Scheduler.
+func (s *SSTF) Name() string { return "sstf" }
+
+// Pick implements Scheduler: minimum |Off - pos|, ties to the lower
+// offset (ascending sweep), then seq.
+func (s *SSTF) Pick(now simclock.Duration, pos int64) *Request {
+	best := -1
+	var bestDist int64
+	for i, r := range s.reqs {
+		if r.Arrival > now {
+			continue
+		}
+		d := r.Off - pos
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDist ||
+			(d == bestDist && (r.Off < s.reqs[best].Off ||
+				(r.Off == s.reqs[best].Off && r.seq < s.reqs[best].seq))) {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return s.remove(best)
+}
+
+// Deadline is the Linux-deadline-style hybrid: requests are normally
+// serviced in SSTF order, but every request carries an expiry (arrival +
+// quantum) and an expired request preempts seek optimisation, bounding the
+// starvation SSTF inflicts on far-away offsets.
+type Deadline struct {
+	queue
+	quantum simclock.Duration
+}
+
+// DefaultDeadlineQuantum bounds request sojourn under the deadline policy;
+// it is of the order of a few disk service times, like the Linux deadline
+// scheduler's read expiry.
+const DefaultDeadlineQuantum = 100 * simclock.Millisecond
+
+// NewDeadline returns a deadline scheduler. quantum <= 0 selects
+// DefaultDeadlineQuantum.
+func NewDeadline(quantum simclock.Duration) *Deadline {
+	if quantum <= 0 {
+		quantum = DefaultDeadlineQuantum
+	}
+	return &Deadline{quantum: quantum}
+}
+
+// Name implements Scheduler.
+func (s *Deadline) Name() string { return "deadline" }
+
+// Add implements Scheduler, stamping the expiry.
+func (s *Deadline) Add(r *Request) {
+	r.Deadline = r.Arrival + s.quantum
+	s.queue.Add(r)
+}
+
+// Pick implements Scheduler: the earliest-deadline eligible request if it
+// has expired, else SSTF order.
+func (s *Deadline) Pick(now simclock.Duration, pos int64) *Request {
+	oldest := -1
+	for i, r := range s.reqs {
+		if r.Arrival > now {
+			continue
+		}
+		if oldest < 0 || r.Deadline < s.reqs[oldest].Deadline ||
+			(r.Deadline == s.reqs[oldest].Deadline && r.seq < s.reqs[oldest].seq) {
+			oldest = i
+		}
+	}
+	if oldest < 0 {
+		return nil
+	}
+	if s.reqs[oldest].Deadline <= now {
+		return s.remove(oldest)
+	}
+	best := -1
+	var bestDist int64
+	for i, r := range s.reqs {
+		if r.Arrival > now {
+			continue
+		}
+		d := r.Off - pos
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDist ||
+			(d == bestDist && (r.Off < s.reqs[best].Off ||
+				(r.Off == s.reqs[best].Off && r.seq < s.reqs[best].seq))) {
+			best, bestDist = i, d
+		}
+	}
+	return s.remove(best)
+}
+
+// NewScheduler builds a scheduler by policy name; it is the factory the
+// experiment sweeps select policies with.
+func NewScheduler(name string) Scheduler {
+	switch name {
+	case "fcfs":
+		return NewFCFS()
+	case "sstf":
+		return NewSSTF()
+	case "deadline":
+		return NewDeadline(0)
+	default:
+		panic(fmt.Sprintf("iosched: unknown scheduler %q", name))
+	}
+}

@@ -137,6 +137,13 @@ func NewKernel(cfg Config) *Kernel {
 // Config returns the kernel's configuration.
 func (k *Kernel) Config() Config { return k.cfg }
 
+// SetClock installs c as the kernel's clock. The multi-stream scheduler
+// (internal/iosched) gives each simulated process its own virtual timeline
+// and installs it here while that process runs, so every charge the
+// kernel makes lands on the running stream's clock; single-stream code
+// never needs this.
+func (k *Kernel) SetClock(c *simclock.Clock) { k.Clock = c }
+
 // PageSize returns the VM page size.
 func (k *Kernel) PageSize() int { return k.cfg.PageSize }
 
