@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build vet fmt staticcheck test race bench determinism ci
+.PHONY: build vet fmt staticcheck test race bench determinism faults-smoke ci
 
 build:
 	$(GO) build ./...
@@ -45,5 +45,17 @@ determinism:
 	$(GO) run ./cmd/sledsbench -scale quick -exp econtend,eloadsled -workers 4 > /tmp/sledsbench-contend-w4.txt
 	diff /tmp/sledsbench-contend-w1.txt /tmp/sledsbench-contend-w4.txt
 	@echo "deterministic: contention experiments are byte-identical at 1 and 4 workers"
+	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy -workers 1 > /tmp/sledsbench-faults-w1.txt
+	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy -workers 4 > /tmp/sledsbench-faults-w4.txt
+	diff /tmp/sledsbench-faults-w1.txt /tmp/sledsbench-faults-w4.txt
+	@echo "deterministic: fault injection is byte-identical at 1 and 4 workers"
 
-ci: build vet fmt staticcheck test race determinism
+# faults-smoke drives the fault-injection path end to end: the efaults
+# experiment at quick scale with the heavy profile stacked over every
+# device of every machine. Every injected fault must be retried or
+# surfaced as EIO — a panic anywhere on the fault path fails the target.
+faults-smoke: vet
+	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy > /dev/null
+	@echo "faults-smoke: efaults completed with heavy injection on every device"
+
+ci: build vet fmt staticcheck test race determinism faults-smoke

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sleds/internal/experiments"
+	"sleds/internal/faults"
 )
 
 // knownExps lists every selectable experiment id, plus the "all" and
@@ -36,16 +37,17 @@ var knownExps = []string{
 	"t2", "t3", "t4", "f3",
 	"f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f15x16",
 	"efind", "egmc", "ehsm", "eremote", "ehints", "etreegrep", "eaccuracy",
-	"econtend", "eloadsled",
+	"econtend", "eloadsled", "efaults",
 	"ablation-policy", "ablation-pickorder", "ablation-refresh",
 	"ablation-readahead", "ablation-mmap", "ablation-zones",
 }
 
 func main() {
 	scale := flag.String("scale", "paper", "configuration scale: paper | quick")
-	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,econtend,eloadsled,ablations")
+	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,econtend,eloadsled,efaults,ablations")
 	runs := flag.Int("runs", 0, "override measured runs per point (0 = configuration default)")
 	workers := flag.Int("workers", 0, "experiment points run in parallel (0 = GOMAXPROCS); output is identical at any value")
+	faultsProfile := flag.String("faults", "off", "deterministic fault-injection profile applied to every device of every machine: off | light | heavy")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
 	list := flag.Bool("list", false, "print the valid experiment ids, one per line, and exit")
 	flag.Parse()
@@ -55,6 +57,11 @@ func main() {
 		sort.Strings(valid)
 		for _, id := range valid {
 			fmt.Println(id)
+		}
+		// -faults profiles, prefixed so scripts can tell them from
+		// experiment ids.
+		for _, p := range faults.Profiles() {
+			fmt.Println("faults:" + p)
 		}
 		return
 	}
@@ -73,6 +80,14 @@ func main() {
 		cfg.Runs = *runs
 	}
 	cfg.Workers = *workers
+	if _, ok := faults.ProfileConfig(*faultsProfile, 0); !ok {
+		fmt.Fprintf(os.Stderr, "sledsbench: unknown fault profile %q (valid: %s)\n",
+			*faultsProfile, strings.Join(faults.Profiles(), ", "))
+		os.Exit(2)
+	}
+	if *faultsProfile != "off" {
+		cfg.FaultProfile = *faultsProfile
+	}
 
 	known := map[string]bool{}
 	for _, id := range knownExps {
@@ -292,6 +307,14 @@ func main() {
 		f, err := experiments.ELoadSLED(cfg)
 		writeCSV(f)
 		return f.Render(), err
+	})
+	run("efaults", func() (string, error) {
+		r, err := experiments.EFaults(cfg)
+		if err != nil {
+			return "", err
+		}
+		writeCSV(r.Figure)
+		return r.Render(), nil
 	})
 	for _, abl := range []struct {
 		id string

@@ -149,8 +149,11 @@ func (c *Cache) Contains(k Key) bool {
 func (c *Cache) RecordMiss() { c.stats.Misses++ }
 
 // Insert adds a page, evicting as needed. Inserting a key that is already
-// resident replaces its data and dirty bit (and refreshes recency).
-func (c *Cache) Insert(k Key, data []byte, dirty bool) {
+// resident replaces its data and dirty bit (and refreshes recency). The
+// error (failure to find an eviction victim) is defensive — the bounded
+// CLOCK sweep always terminates — but the read path is fallible now, so
+// it is reported with context instead of panicking.
+func (c *Cache) Insert(k Key, data []byte, dirty bool) error {
 	if e, ok := c.index[k]; ok {
 		f := e.Value.(*frame)
 		f.data = data
@@ -161,18 +164,21 @@ func (c *Cache) Insert(k Key, data []byte, dirty bool) {
 		case Clock:
 			f.ref = true
 		}
-		return
+		return nil
 	}
 	for c.order.Len() >= c.capacity {
-		c.evictOne()
+		if err := c.evictOne(); err != nil {
+			return fmt.Errorf("cache: inserting file %d page %d: %w", k.File, k.Page, err)
+		}
 	}
 	e := c.order.PushFront(&frame{key: k, data: data, dirty: dirty})
 	c.index[k] = e
 	c.stats.Inserts++
+	return nil
 }
 
 // evictOne removes one page according to the policy.
-func (c *Cache) evictOne() {
+func (c *Cache) evictOne() error {
 	var victim *list.Element
 	switch c.policy {
 	case LRU, FIFO:
@@ -193,9 +199,11 @@ func (c *Cache) evictOne() {
 		}
 	}
 	if victim == nil {
-		panic("cache: no eviction victim found")
+		return fmt.Errorf("cache: no eviction victim found (%d resident of %d frames, policy %s)",
+			c.order.Len(), c.capacity, c.policy)
 	}
 	c.removeElement(victim)
+	return nil
 }
 
 func (c *Cache) removeElement(e *list.Element) {

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"sleds/internal/device"
 	"sleds/internal/simclock"
@@ -31,6 +32,15 @@ type SLED struct {
 	Length    int64   // length of the section in bytes
 	Latency   float64 // seconds to the first byte
 	Bandwidth float64 // bytes/second once flowing
+
+	// Confidence is the staleness/degradation grade of the estimate, in
+	// (0, 1]: 1 means the backing device has shown no recent faults and
+	// the latency is the calibrated estimate; lower values mean observed
+	// faults have inflated Latency by the device's health penalty, and
+	// the true cost is correspondingly less certain. 0 means unknown
+	// (e.g. a SLED decoded from the wire format, which does not carry
+	// the field).
+	Confidence float64
 }
 
 // End returns the offset one past the section.
@@ -47,12 +57,18 @@ func (s SLED) DeliveryTime() float64 {
 // SameEstimates reports whether two SLEDs carry identical performance
 // estimates (the coalescing criterion).
 func (s SLED) SameEstimates(o SLED) bool {
-	return s.Latency == o.Latency && s.Bandwidth == o.Bandwidth
+	return s.Latency == o.Latency && s.Bandwidth == o.Bandwidth && s.Confidence == o.Confidence
 }
 
-// String renders the SLED the way the gmc properties panel shows it.
+// String renders the SLED the way the gmc properties panel shows it. The
+// confidence grade is appended only when degraded (in (0,1)), so output
+// from healthy machines is unchanged.
 func (s SLED) String() string {
-	return fmt.Sprintf("[%d,+%d) lat=%.6gs bw=%.4g MB/s", s.Offset, s.Length, s.Latency, s.Bandwidth/(1<<20))
+	base := fmt.Sprintf("[%d,+%d) lat=%.6gs bw=%.4g MB/s", s.Offset, s.Length, s.Latency, s.Bandwidth/(1<<20))
+	if s.Confidence > 0 && s.Confidence < 1 {
+		base += fmt.Sprintf(" conf=%.2f", s.Confidence)
+	}
+	return base
 }
 
 // Entry is one row of the kernel sleds table: the measured performance of
@@ -97,11 +113,131 @@ type Table struct {
 	zones   map[device.ID][]ZoneEntry
 	haveMem bool
 	load    Load
+
+	health   map[device.ID]*health
+	halfLife simclock.Duration
 }
+
+// health is the per-device degradation state the fault observer feeds.
+// penalty is in seconds of extra first-byte latency and decays
+// exponentially in virtual time; updated is the instant penalty was last
+// brought current (decay is applied lazily).
+type health struct {
+	penalty float64
+	faults  int64
+	updated simclock.Duration
+}
+
+// DefaultHealthHalfLife is the virtual-time half-life of a device's fault
+// penalty: long enough that a burst of faults keeps routing away from the
+// device for the minutes an experiment run lasts, short enough that a
+// recovered device wins traffic back.
+const DefaultHealthHalfLife = 60 * simclock.Second
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	return &Table{devs: make(map[device.ID]Entry), zones: make(map[device.ID][]ZoneEntry)}
+	return &Table{
+		devs:     make(map[device.ID]Entry),
+		zones:    make(map[device.ID][]ZoneEntry),
+		health:   make(map[device.ID]*health),
+		halfLife: DefaultHealthHalfLife,
+	}
+}
+
+// SetHealthHalfLife overrides the fault-penalty decay half-life; hl <= 0
+// restores the default.
+func (t *Table) SetHealthHalfLife(hl simclock.Duration) {
+	if hl <= 0 {
+		hl = DefaultHealthHalfLife
+	}
+	t.halfLife = hl
+}
+
+// ObserveFault records a fault on a device at virtual time now: the
+// fault's extra service time is added to the device's latency penalty,
+// which subsequent queries fold into the device's reported latency. The
+// penalty decays as penalty * 2^(-dt/halfLife), so a device that stops
+// faulting gradually earns its calibrated estimates back. This is the
+// observer the kernel's retry loop feeds (vfs.Kernel.SetFaultObserver).
+func (t *Table) ObserveFault(id device.ID, extra simclock.Duration, now simclock.Duration) {
+	h := t.healthAt(id, now)
+	if h == nil {
+		h = &health{updated: now}
+		t.health[id] = h
+	}
+	h.penalty += extra.Seconds()
+	h.faults++
+}
+
+// HealthPenalty reports the device's decayed latency penalty in seconds at
+// virtual time now (0 for a device that has never faulted).
+func (t *Table) HealthPenalty(id device.ID, now simclock.Duration) float64 {
+	if h := t.healthAt(id, now); h != nil {
+		return h.penalty
+	}
+	return 0
+}
+
+// FaultCount reports the total faults observed on a device (undecayed).
+func (t *Table) FaultCount(id device.ID) int64 {
+	if h, ok := t.health[id]; ok {
+		return h.faults
+	}
+	return 0
+}
+
+// Confidence reports the degradation grade the table would stamp on a
+// SLED for the device's pages at virtual time now: base/(base+penalty)
+// where base is the calibrated latency. 1 means healthy/unknown device.
+func (t *Table) Confidence(id device.ID, now simclock.Duration) float64 {
+	pen := t.HealthPenalty(id, now)
+	if pen <= 0 {
+		return 1
+	}
+	e, ok := t.devs[id]
+	if !ok {
+		return 1
+	}
+	return confidence(e.Latency, pen)
+}
+
+// confidence grades an estimate whose base latency has been inflated by a
+// fault penalty (both in seconds).
+func confidence(base, penalty float64) float64 {
+	if penalty <= 0 {
+		return 1
+	}
+	if base+penalty <= 0 {
+		return 0
+	}
+	return base / (base + penalty)
+}
+
+// healthAt returns the device's health brought current to virtual time
+// now, applying the lazy exponential decay. Returns nil when the device
+// has never faulted. Negative dt (an observation from a stream clock that
+// lags another) leaves the penalty as-is rather than inflating it.
+func (t *Table) healthAt(id device.ID, now simclock.Duration) *health {
+	h, ok := t.health[id]
+	if !ok {
+		return nil
+	}
+	if dt := now - h.updated; dt > 0 {
+		if h.penalty > 0 {
+			h.penalty *= math.Exp2(-float64(dt) / float64(t.halfLife))
+			if h.penalty < 1e-12 {
+				h.penalty = 0
+			}
+		}
+		h.updated = now
+	}
+	return h
+}
+
+// ResetHealth clears all fault observations (used between measured runs
+// that should not inherit the previous run's degradation state).
+func (t *Table) ResetHealth() {
+	t.health = make(map[device.ID]*health)
 }
 
 // SetMemory installs the primary-memory entry.
@@ -249,6 +385,7 @@ func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 	var out []SLED
 	for p := int64(0); p < pages; p++ {
 		var e Entry
+		conf := 1.0
 		if k.PageResident(n, p) {
 			e = t.mem
 		} else {
@@ -262,12 +399,19 @@ func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 				return nil, fmt.Errorf("core: no sleds table entry for device %d (file %q)", dev, n.Name())
 			}
 			e = t.underLoad(dev, e, now)
+			// Fold the device's degradation state into the estimate: the
+			// decayed fault penalty inflates the reported latency and
+			// grades down the SLED's confidence.
+			if pen := t.HealthPenalty(dev, now); pen > 0 {
+				conf = confidence(e.Latency, pen)
+				e.Latency += pen
+			}
 		}
 		length := ps
 		if (p+1)*ps > size {
 			length = size - p*ps
 		}
-		cur := SLED{Offset: p * ps, Length: length, Latency: e.Latency, Bandwidth: e.Bandwidth}
+		cur := SLED{Offset: p * ps, Length: length, Latency: e.Latency, Bandwidth: e.Bandwidth, Confidence: conf}
 		if len(out) > 0 && out[len(out)-1].SameEstimates(cur) && out[len(out)-1].End() == cur.Offset {
 			out[len(out)-1].Length += cur.Length
 		} else {
@@ -300,6 +444,9 @@ func Validate(sleds []SLED, size int64) error {
 		}
 		if s.Bandwidth <= 0 || s.Latency < 0 {
 			return fmt.Errorf("core: SLED %d has invalid estimates %+v", i, s)
+		}
+		if s.Confidence < 0 || s.Confidence > 1 {
+			return fmt.Errorf("core: SLED %d has confidence %g outside [0,1]", i, s.Confidence)
 		}
 		if i > 0 {
 			prev := sleds[i-1]

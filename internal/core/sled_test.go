@@ -247,12 +247,13 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		{"empty for nonempty", nil, 10},
 		{"nonempty for empty", good, 0},
 		{"bad start", []SLED{{Offset: 5, Length: 5, Latency: 1, Bandwidth: 1}}, 10},
-		{"gap", []SLED{{0, 4, 1, 1}, {5, 5, 2, 1}}, 10},
-		{"overlap", []SLED{{0, 6, 1, 1}, {5, 5, 2, 1}}, 10},
-		{"uncoalesced", []SLED{{0, 5, 1, 1}, {5, 5, 1, 1}}, 10},
-		{"short", []SLED{{0, 5, 1, 1}}, 10},
-		{"zero length", []SLED{{0, 0, 1, 1}}, 0},
-		{"bad bandwidth", []SLED{{0, 10, 1, 0}}, 10},
+		{"gap", []SLED{{Offset: 0, Length: 4, Latency: 1, Bandwidth: 1}, {Offset: 5, Length: 5, Latency: 2, Bandwidth: 1}}, 10},
+		{"overlap", []SLED{{Offset: 0, Length: 6, Latency: 1, Bandwidth: 1}, {Offset: 5, Length: 5, Latency: 2, Bandwidth: 1}}, 10},
+		{"uncoalesced", []SLED{{Offset: 0, Length: 5, Latency: 1, Bandwidth: 1}, {Offset: 5, Length: 5, Latency: 1, Bandwidth: 1}}, 10},
+		{"short", []SLED{{Offset: 0, Length: 5, Latency: 1, Bandwidth: 1}}, 10},
+		{"zero length", []SLED{{Offset: 0, Length: 0, Latency: 1, Bandwidth: 1}}, 0},
+		{"bad bandwidth", []SLED{{Offset: 0, Length: 10, Latency: 1}}, 10},
+		{"bad confidence", []SLED{{Offset: 0, Length: 10, Latency: 1, Bandwidth: 1, Confidence: 1.5}}, 10},
 	}
 	for _, tc := range bad {
 		if err := Validate(tc.sleds, tc.size); err == nil {

@@ -92,6 +92,92 @@ type Device interface {
 	Reset()
 }
 
+// FallibleDevice is the fallible read/write path of the device contract.
+// Plain Devices never fail; wrappers that can fail (internal/faults'
+// Injector, internal/iosched's QueuedDevice when it forwards a wrapped
+// injector's error) implement this extension. Callers that can handle
+// errors use the package helpers ReadErr/WriteErr, which fall back to the
+// infallible methods for plain devices; callers on the legacy infallible
+// path keep working unchanged.
+//
+// On error the access may still have advanced the clock (a failed request
+// costs time — that is the point); the caller owns retrying or surfacing
+// EIO. The error chain always carries a *Fault.
+type FallibleDevice interface {
+	Device
+	ReadErr(c *simclock.Clock, off, length int64) error
+	WriteErr(c *simclock.Clock, off, length int64) error
+}
+
+// ReadErr reads through the fallible path when the device supports it and
+// the infallible path (never failing) otherwise.
+func ReadErr(d Device, c *simclock.Clock, off, length int64) error {
+	if fd, ok := d.(FallibleDevice); ok {
+		return fd.ReadErr(c, off, length)
+	}
+	d.Read(c, off, length)
+	return nil
+}
+
+// WriteErr writes through the fallible path when the device supports it
+// and the infallible path otherwise.
+func WriteErr(d Device, c *simclock.Clock, off, length int64) error {
+	if fd, ok := d.(FallibleDevice); ok {
+		return fd.WriteErr(c, off, length)
+	}
+	d.Write(c, off, length)
+	return nil
+}
+
+// FaultClass categorises an injected device fault by its physical analogue.
+type FaultClass int
+
+// Fault classes. The class determines how the kernel's retry policy and
+// the sleds health observer should weigh the event; the injector decides
+// which classes a device level can produce.
+const (
+	// FaultTransient is a transient medium error (disk sector pending
+	// remap, CD read retry): the request fails after a positioning delay
+	// and an immediate retry is likely to succeed.
+	FaultTransient FaultClass = iota
+	// FaultTimeout is a lost request (NFS RPC timeout): the full timeout
+	// elapses before the failure is known; the caller retransmits with
+	// backoff.
+	FaultTimeout
+	// FaultMount is a removable-media mount/load failure (tape autochanger
+	// mispick): expensive, and the retry repeats the whole load.
+	FaultMount
+)
+
+// String names the class the way fault traces render it.
+func (fc FaultClass) String() string {
+	switch fc {
+	case FaultTransient:
+		return "transient"
+	case FaultTimeout:
+		return "timeout"
+	case FaultMount:
+		return "mount"
+	default:
+		return fmt.Sprintf("class(%d)", int(fc))
+	}
+}
+
+// Fault is the error returned by a failed device access. Extra records the
+// virtual time the failed attempt consumed beyond the healthy access cost
+// (the tail the health observer feeds into SLED estimates).
+type Fault struct {
+	Dev   ID
+	Class FaultClass
+	Extra simclock.Duration
+	Seq   int64 // per-device fault ordinal, for deterministic traces
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("device %d: %s fault #%d (+%v)", f.Dev, f.Class, f.Seq, f.Extra)
+}
+
 // Registry tracks the devices attached to a simulated machine.
 type Registry struct {
 	devices []Device
@@ -116,6 +202,19 @@ func (r *Registry) Attach(d Device) ID {
 // previous registrant. The replacement must report the same ID. This is
 // how internal/iosched interposes its queued wrappers after boot-time
 // calibration has measured the raw devices.
+//
+// Wrappers stack: each interposer captures whatever Replace returns (or
+// whatever Get reported when it was built) as its underlying device, so
+// Injector-over-QueuedDevice and QueuedDevice-over-Injector both compose —
+// the outer wrapper's Read drives the inner wrapper's, which drives the
+// raw device. Two contract points make stacking safe:
+//
+//  1. A wrapper's Reset MUST forward to its underlying device (after
+//     clearing its own state), so Registry.ResetAll reaches the innermost
+//     raw device through any depth of wrapping.
+//  2. A wrapper that can fail should implement FallibleDevice and forward
+//     errors from a wrapped FallibleDevice, so faults injected below
+//     survive interposition above.
 func (r *Registry) Replace(id ID, d Device) Device {
 	if id < 0 || int(id) >= len(r.devices) {
 		panic(fmt.Sprintf("device: replacing unknown device ID %d", id))

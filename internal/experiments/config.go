@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"sleds/internal/cache"
+	"sleds/internal/faults"
 )
 
 // MB is 2^20 bytes.
@@ -36,6 +37,14 @@ type Config struct {
 	// Workers sizes the parallel experiment runner's pool (see runner.go);
 	// <= 0 selects GOMAXPROCS. Any value produces byte-identical output.
 	Workers int
+
+	// FaultProfile, when set to a profile from internal/faults ("light",
+	// "heavy"), wraps every non-memory device of every booted machine in a
+	// deterministic fault injector after calibration. "" and "off" disable
+	// injection. The efaults experiment ignores this and does its own
+	// targeted injection; the knob exists for whole-suite robustness runs
+	// (make faults-smoke).
+	FaultProfile string
 
 	// Ablation knobs (zero values reproduce the paper's setup).
 	Policy         cache.Policy // page replacement (default LRU)
@@ -98,6 +107,11 @@ func QuickConfig() Config {
 func (c Config) validate() {
 	if c.PageSize <= 0 || c.CachePages <= 0 || c.Runs <= 0 || len(c.Sizes) == 0 {
 		panic(fmt.Sprintf("experiments: invalid config %+v", c))
+	}
+	if c.FaultProfile != "" {
+		if _, ok := faults.ProfileConfig(c.FaultProfile, 0); !ok {
+			panic(fmt.Sprintf("experiments: unknown fault profile %q", c.FaultProfile))
+		}
 	}
 }
 

@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sleds/internal/apps/grepapp"
+	"sleds/internal/core"
+	"sleds/internal/faults"
+	"sleds/internal/simclock"
+	"sleds/internal/sledlib"
+	"sleds/internal/vfs"
+	"sleds/internal/workload"
+)
+
+// The efaults experiment measures degraded-mode SLEDs: a machine holds the
+// same needle in two places — a small file on NFS and a file
+// efaultsDiskFactor times larger on the local disk — and a grep -q wants
+// either copy. Healthy, the NFS copy is the cheaper read (its transfer is
+// a fraction of the big disk scan) and every mode reads it. Then the NFS
+// server degrades: a deterministic injector fails a quarter of its
+// requests with full RPC timeouts. A blind reader still goes to NFS first
+// and absorbs the retry tail; a SLED-guided reader sees the fault-inflated
+// NFS estimates (the kernel's retry loop feeds every observed fault into
+// the table's health state) and routes to the healthy disk copy instead.
+
+const (
+	// efaultsDiskFactor sizes the disk copy relative to the NFS copy. It
+	// must exceed bwDisk/bwNFS * (1 + latNFS/size) so the healthy NFS
+	// estimate wins at every sweep size — 16x does, for both the paper
+	// and quick scales, with Table 2's ~9 MB/s disk and 1 MB/s NFS.
+	efaultsDiskFactor = 16
+	// efaultsPFault / efaultsMaxConsecutive parameterise the degraded NFS
+	// injector: a quarter of fresh requests start a fault episode of at
+	// most 3 failed attempts — strictly under the default RetryPolicy's 5
+	// attempts, so the experiment completes without EIO by construction.
+	efaultsPFault         = 0.25
+	efaultsMaxConsecutive = 3
+	// efaultsHalfLife stretches the health-penalty decay for this
+	// experiment: it models a server that stays degraded for the whole
+	// sweep, so the penalty the burn-in built must survive the measured
+	// runs (which, routed to the disk, never touch NFS and would
+	// otherwise let the default 60 s half-life erase it). Decay itself is
+	// exercised by internal/core's tests.
+	efaultsHalfLife = 1800 * simclock.Second
+	// efaultsNeedleFrac places the needle (numerator/denominator percent
+	// of the file) far enough in that the retry tail dominates a blind
+	// degraded read.
+	efaultsNeedleFrac = 55
+)
+
+// efaultsSizes returns the NFS-copy size sweep: the first four sizes of
+// the configured sweep (the disk copy is efaultsDiskFactor larger).
+func efaultsSizes(cfg Config) []int64 {
+	n := 4
+	if len(cfg.Sizes) < n {
+		n = len(cfg.Sizes)
+	}
+	return cfg.Sizes[:n]
+}
+
+// FaultsCounters is the per-run fault accounting of one degraded cell.
+type FaultsCounters struct {
+	SizeMB       float64
+	Mode         string // "blind" or "sleds"
+	DeviceFaults int64
+	Retries      int64
+	RetryWaitSec float64
+	EIOs         int64
+}
+
+// FaultsReport is the efaults experiment's product: the four-way sweep
+// figure, fault accounting for the degraded cells, and a serial demo of
+// the degradation-aware SLED surface (gmc-style panels plus pruning).
+type FaultsReport struct {
+	Figure   Figure
+	Counters []FaultsCounters
+
+	// HealthyPanel / DegradedPanel are the SLED vectors of the same NFS
+	// file before and after the server degrades, one SLED per line.
+	HealthyPanel  []string
+	DegradedPanel []string
+	// Kept / Pruned is sledlib.PruneDegraded's split of the demo file set.
+	Kept, Pruned []string
+}
+
+// efaultsCell is one grid point's measurement.
+type efaultsCell struct {
+	seconds  float64
+	ci90     float64
+	counters FaultsCounters
+}
+
+// efaultsPoint runs one (size, health, mode) cell. Both file contents and
+// the injector's fault schedule derive from the base seed and the size
+// index only, so all four cells of a row search byte-identical files and
+// both degraded cells face the identical fault pattern.
+func efaultsPoint(pcfg, baseCfg Config, sizeIdx int, degraded, useSLEDs bool) (efaultsCell, error) {
+	m, err := BootMachine(pcfg, ProfileUnix)
+	if err != nil {
+		return efaultsCell{}, err
+	}
+	size := efaultsSizes(baseCfg)[sizeIdx]
+	diskSize := efaultsDiskFactor * size
+
+	nfsC := workload.NewText(fileSeed(baseCfg, "efaults-nfs", sizeIdx), size, pcfg.PageSize)
+	if _, err := m.K.Create("/data/remote.log", m.NFS, nfsC); err != nil {
+		return efaultsCell{}, err
+	}
+	workload.PlantMatch(nfsC, size*efaultsNeedleFrac/100, needleBase)
+	diskC := workload.NewText(fileSeed(baseCfg, "efaults-disk", sizeIdx), diskSize, pcfg.PageSize)
+	if _, err := m.K.Create("/data/local.log", m.Disk, diskC); err != nil {
+		return efaultsCell{}, err
+	}
+	workload.PlantMatch(diskC, diskSize*efaultsNeedleFrac/100, needleBase)
+
+	m.Table.SetHealthHalfLife(efaultsHalfLife)
+	if degraded {
+		m.InjectFaults(m.NFS, faults.Config{
+			Seed:           PointSeed(baseCfg.Seed, "efaults-inj", sizeIdx),
+			PFault:         efaultsPFault,
+			MaxConsecutive: efaultsMaxConsecutive,
+		})
+		// Burn-in: one full pass over the NFS copy observes the server's
+		// fault pattern — every retried timeout feeds Table.ObserveFault
+		// through the kernel's fault observer — and builds the health
+		// penalty the SLED-guided runs then route on. Blind runs get the
+		// same burn-in, so the modes differ only in what they do with the
+		// knowledge.
+		if err := burnIn(m, "/data/remote.log", size, pcfg.BufSize); err != nil {
+			return efaultsCell{}, err
+		}
+	}
+
+	paths := []string{"/data/remote.log", "/data/local.log"}
+	env := m.Env(useSLEDs, pcfg.BufSize)
+	var cell efaultsCell
+	elapsed, _, err := measured(pcfg, m, func(int) error {
+		// Every run starts cache-cold: the measurement is the routing
+		// decision and its I/O consequence, not cache carryover (which
+		// would let run 2+ of every mode read the needle from RAM).
+		m.K.DropCaches()
+		order := paths
+		if useSLEDs {
+			order, _ = sledlib.FileSetOrder(m.K, m.Table, paths, core.PlanLinear)
+		}
+		found := false
+		for _, p := range order {
+			got, err := grepapp.Run(env, p, needleBase, grepapp.Options{FirstOnly: true})
+			if errors.Is(err, vfs.ErrIO) {
+				// The retry policy gave up on this file (possible when a
+				// global -faults profile stacks a second injector over the
+				// experiment's own): do what grep does — report nothing
+				// for it and move to the next file. The EIO is already in
+				// RunStats.
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if len(got) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("efaults: needle %q not found in %v", needleBase, order)
+		}
+		rs := m.K.RunStats()
+		cell.counters = FaultsCounters{
+			SizeMB:       mbOf(size),
+			DeviceFaults: rs.DeviceFaults,
+			Retries:      rs.Retries,
+			RetryWaitSec: rs.RetryWait.Seconds(),
+			EIOs:         rs.EIOs,
+		}
+		return nil
+	})
+	if err != nil {
+		return efaultsCell{}, err
+	}
+	sum := elapsed.Summarize()
+	cell.seconds, cell.ci90 = sum.Mean, sum.CI90
+	return cell, nil
+}
+
+// burnIn reads the whole file in bufSize chunks, the request granularity
+// of an ordinary consumer. Chunked reads matter: each chunk is its own
+// device request and its own fault opportunity, so the burn-in samples
+// the injector's fault rate instead of issuing one giant request.
+func burnIn(m *Machine, path string, size, bufSize int64) error {
+	f, err := m.K.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, bufSize)
+	for off := int64(0); off < size; off += bufSize {
+		n := bufSize
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			if errors.Is(err, vfs.ErrIO) {
+				continue // unreadable chunk; the fault is observed either way
+			}
+			return fmt.Errorf("efaults: burn-in at %d: %w", off, err)
+		}
+	}
+	return nil
+}
+
+// efaultsDemo builds the serial demo: the same NFS file's SLED vector
+// before and after the server degrades, and PruneDegraded's verdict on
+// the two-file set. Run after the grid (it is one small machine).
+func efaultsDemo(cfg Config) (healthy, degraded []string, kept, pruned []string, err error) {
+	m, err := BootMachine(cfg.forPoint("efaults-demo"), ProfileUnix)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	size := efaultsSizes(cfg)[0]
+	if _, err := m.K.Create("/data/remote.log", m.NFS,
+		workload.NewText(fileSeed(cfg, "efaults-demo-nfs", 0), size, cfg.PageSize)); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if _, err := m.K.Create("/data/local.log", m.Disk,
+		workload.NewText(fileSeed(cfg, "efaults-demo-disk", 0), size, cfg.PageSize)); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	m.Table.SetHealthHalfLife(efaultsHalfLife)
+
+	panel := func(path string) ([]string, error) {
+		n, err := m.K.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		sleds, err := core.Query(m.K, m.Table, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(sleds))
+		for i, s := range sleds {
+			out[i] = s.String()
+		}
+		return out, nil
+	}
+	if healthy, err = panel("/data/remote.log"); err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	m.InjectFaults(m.NFS, faults.Config{
+		Seed:           PointSeed(cfg.Seed, "efaults-demo-inj", 0),
+		PFault:         efaultsPFault,
+		MaxConsecutive: efaultsMaxConsecutive,
+	})
+	if err := burnIn(m, "/data/remote.log", size, cfg.BufSize); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	m.K.DropCaches()
+
+	if degraded, err = panel("/data/remote.log"); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	kept, pruned = sledlib.PruneDegraded(m.K, m.Table,
+		[]string{"/data/remote.log", "/data/local.log"}, 0.5)
+	return healthy, degraded, kept, pruned, nil
+}
+
+// EFaults regenerates the degraded-mode sweep: grep -q time for blind and
+// SLED-guided file-set orders, on a healthy machine and on one whose NFS
+// server times out a quarter of its requests.
+func EFaults(cfg Config) (FaultsReport, error) {
+	cfg.validate()
+	sizes := efaultsSizes(cfg)
+	// Grid columns per size: (healthy, degraded) x (blind, sleds).
+	const cols = 4
+	names := []string{"healthy blind", "healthy with SLEDs", "degraded blind", "degraded with SLEDs"}
+	points, err := RunGrid(cfg, len(sizes)*cols, func(i int) (efaultsCell, error) {
+		sizeIdx, col := i/cols, i%cols
+		degraded, useSLEDs := col >= 2, col%2 == 1
+		pcfg := cfg.forPoint("efaults", sizeIdx, col)
+		return efaultsPoint(pcfg, cfg, sizeIdx, degraded, useSLEDs)
+	})
+	if err != nil {
+		return FaultsReport{}, err
+	}
+
+	series := make([]Series, cols)
+	for c := range series {
+		series[c] = Series{Name: names[c]}
+	}
+	var counters []FaultsCounters
+	for i, cell := range points {
+		sizeIdx, col := i/cols, i%cols
+		series[col].Points = append(series[col].Points,
+			Point{X: mbOf(sizes[sizeIdx]), Mean: cell.seconds, CI90: cell.ci90})
+		if col >= 2 {
+			c := cell.counters
+			c.Mode = "blind"
+			if col == 3 {
+				c.Mode = "sleds"
+			}
+			counters = append(counters, c)
+		}
+	}
+
+	healthy, degraded, kept, pruned, err := efaultsDemo(cfg)
+	if err != nil {
+		return FaultsReport{}, err
+	}
+	return FaultsReport{
+		Figure: Figure{
+			ID:     "efaults",
+			Title:  "grep -q with the needle on NFS and (16x larger) on disk, healthy vs degraded NFS",
+			XLabel: "NFS MB",
+			YLabel: "seconds",
+			Series: series,
+			Notes: "degraded NFS times out 25% of requests; blind readers go to NFS first and absorb the " +
+				"retry tail, SLED-guided readers see the fault-inflated estimates and route to the disk copy",
+		},
+		Counters:      counters,
+		HealthyPanel:  healthy,
+		DegradedPanel: degraded,
+		Kept:          kept,
+		Pruned:        pruned,
+	}, nil
+}
+
+// Render draws the report as the deterministic text block sledsbench
+// prints (and the determinism CI diffs across worker counts).
+func (r FaultsReport) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Figure.Render())
+	b.WriteString("fault accounting, degraded cells (last measured run):\n")
+	fmt.Fprintf(&b, "  %8s %6s %8s %8s %12s %6s\n", "NFS MB", "mode", "faults", "retries", "retry wait s", "EIOs")
+	for _, c := range r.Counters {
+		fmt.Fprintf(&b, "  %8.4g %6s %8d %8d %12.4g %6d\n",
+			c.SizeMB, c.Mode, c.DeviceFaults, c.Retries, c.RetryWaitSec, c.EIOs)
+	}
+	b.WriteString("NFS file SLEDs before degradation:\n")
+	for _, s := range r.HealthyPanel {
+		b.WriteString("  " + s + "\n")
+	}
+	b.WriteString("NFS file SLEDs after degradation (latency includes health penalty):\n")
+	for _, s := range r.DegradedPanel {
+		b.WriteString("  " + s + "\n")
+	}
+	fmt.Fprintf(&b, "PruneDegraded(min confidence 0.5): keep %v, degraded %v\n", r.Kept, r.Pruned)
+	return b.String()
+}

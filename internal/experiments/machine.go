@@ -6,6 +6,7 @@ import (
 	"sleds/internal/apps/appenv"
 	"sleds/internal/core"
 	"sleds/internal/device"
+	"sleds/internal/faults"
 	"sleds/internal/lmbench"
 	"sleds/internal/simclock"
 	"sleds/internal/stats"
@@ -33,6 +34,10 @@ type Machine struct {
 	CDROM device.ID
 	NFS   device.ID
 	Tape  device.ID
+
+	// Injectors maps device IDs to the fault injectors interposed over
+	// them (empty on a healthy machine).
+	Injectors map[device.ID]*faults.Injector
 }
 
 // BootMachine builds and calibrates a machine for the given profile.
@@ -74,7 +79,38 @@ func BootMachine(cfg Config, profile Profile) (*Machine, error) {
 		return nil, err
 	}
 	m.Table = tab
+	// Every device fault the kernel's retry loop observes feeds the
+	// table's health state, degrading that device's SLED estimates.
+	k.SetFaultObserver(func(f *device.Fault) {
+		tab.ObserveFault(f.Dev, f.Extra, k.Clock.Now())
+	})
+	// Global fault injection (make faults-smoke, sledsbench -faults) wraps
+	// every non-memory device AFTER calibration, so the table holds the
+	// healthy estimates injection then degrades — as on a real machine,
+	// where lmbench ran before the hardware started failing.
+	if cfg.FaultProfile != "" && cfg.FaultProfile != "off" {
+		for _, id := range []device.ID{m.Disk, m.CDROM, m.NFS, m.Tape} {
+			fcfg, ok := faults.ProfileConfig(cfg.FaultProfile, PointSeed(cfg.Seed, "faults", int(id)))
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown fault profile %q", cfg.FaultProfile)
+			}
+			m.InjectFaults(id, fcfg)
+		}
+	}
 	return m, nil
+}
+
+// InjectFaults interposes a fault injector over the registered device
+// (device.Registry.Replace) and returns it for stats inspection. Call
+// only after calibration: probes must measure the healthy device.
+func (m *Machine) InjectFaults(id device.ID, fcfg faults.Config) *faults.Injector {
+	wrapped, inj := faults.Wrap(m.K.Devices.Get(id), fcfg)
+	m.K.Devices.Replace(id, wrapped)
+	if m.Injectors == nil {
+		m.Injectors = make(map[device.ID]*faults.Injector)
+	}
+	m.Injectors[id] = inj
+	return inj
 }
 
 // DeviceByName maps the experiment file-system names to devices.

@@ -133,10 +133,13 @@ func (s *Stager) DeviceFor(ino *vfs.Inode, devOff int64) device.ID {
 }
 
 // Fetch implements vfs.Stager: serve each touched block from the disk
-// stage, migrating it from tape first if needed.
-func (s *Stager) Fetch(ino *vfs.Inode, devOff, length int64) {
+// stage, migrating it from tape first if needed. A fault on the tape or
+// disk surfaces as the error; blocks migrated before the fault stay
+// staged, so the kernel's retry of the fetch serves them from disk and
+// resumes migration at the failed block.
+func (s *Stager) Fetch(ino *vfs.Inode, devOff, length int64) error {
 	if length <= 0 {
-		return
+		return nil
 	}
 	disk := s.k.Devices.Get(s.cfg.Disk)
 	tape := s.k.Devices.Get(s.cfg.Tape)
@@ -157,43 +160,59 @@ func (s *Stager) Fetch(ino *vfs.Inode, devOff, length int64) {
 		if e, ok := s.index[key]; ok {
 			// Staged: read the needed range from the migration area.
 			b := e.Value.(*stagedBlock)
-			disk.Read(s.k.Clock, b.diskOff+(off-blockStart), readEnd-off)
+			if err := device.ReadErr(disk, s.k.Clock, b.diskOff+(off-blockStart), readEnd-off); err != nil {
+				return err
+			}
 			s.lru.MoveToFront(e)
 			s.stagedReads++
 		} else {
 			// Migrate the whole block from tape, then it is in the disk
 			// cache (the migration write itself makes the bytes
 			// available; no extra disk read is charged).
-			slot := s.takeSlot()
+			slot, err := s.takeSlot(ino, key.block)
+			if err != nil {
+				return err
+			}
 			migrateLen := s.cfg.BlockSize
 			if blockEnd > ino.Extent()+ino.Size() {
 				// Ragged final block: only the file's bytes exist.
 				migrateLen = ino.Extent() + ino.Size() - blockStart
 			}
-			tape.Read(s.k.Clock, blockStart, migrateLen)
-			disk.Write(s.k.Clock, slot, migrateLen)
+			if err := device.ReadErr(tape, s.k.Clock, blockStart, migrateLen); err != nil {
+				s.freeSlots = append(s.freeSlots, slot)
+				return err
+			}
+			if err := device.WriteErr(disk, s.k.Clock, slot, migrateLen); err != nil {
+				s.freeSlots = append(s.freeSlots, slot)
+				return err
+			}
 			e := s.lru.PushFront(&stagedBlock{key: key, diskOff: slot})
 			s.index[key] = e
 			s.tapeMigrates++
 		}
 		off = readEnd
 	}
+	return nil
 }
 
 // takeSlot returns a free migration slot, evicting the LRU block if none.
-func (s *Stager) takeSlot() int64 {
+// The error (no slots and nothing to evict) is defensive — New guarantees
+// at least one slot — but reported with context instead of panicking now
+// that the fetch path is fallible.
+func (s *Stager) takeSlot(ino *vfs.Inode, block int64) (int64, error) {
 	if n := len(s.freeSlots); n > 0 {
 		slot := s.freeSlots[n-1]
 		s.freeSlots = s.freeSlots[:n-1]
-		return slot
+		return slot, nil
 	}
 	victim := s.lru.Back()
 	if victim == nil {
-		panic("hsm: no slots and nothing to evict")
+		return 0, fmt.Errorf("hsm: staging ino %d block %d: no slots and nothing to evict (%d slots, capacity %d)",
+			ino.Ino(), block, s.slots, s.cfg.Capacity)
 	}
 	b := victim.Value.(*stagedBlock)
 	s.lru.Remove(victim)
 	delete(s.index, b.key)
 	s.evictions++
-	return b.diskOff
+	return b.diskOff, nil
 }

@@ -333,7 +333,9 @@ func (e *Engine) resumeStream(st *stream, t simclock.Duration) {
 
 // dispatch starts servicing the scheduler's pick on an idle device at
 // virtual time t, running the underlying device model on the device's own
-// timeline.
+// timeline. A fault from the underlying device (a stacked faults.Injector)
+// rides back to the submitting stream in r.Err; the failed attempt still
+// occupies the device for the time it cost.
 func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
 	r := dq.sched.Pick(t, dq.lastPos)
 	if r == nil {
@@ -341,9 +343,9 @@ func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
 	}
 	dq.clock.AdvanceTo(t)
 	if r.Write {
-		dq.dev.Write(dq.clock, r.Off, r.Length)
+		r.Err = device.WriteErr(dq.dev, dq.clock, r.Off, r.Length)
 	} else {
-		dq.dev.Read(dq.clock, r.Off, r.Length)
+		r.Err = device.ReadErr(dq.dev, dq.clock, r.Off, r.Length)
 	}
 	dq.busy = true
 	dq.inflight = r
@@ -362,8 +364,10 @@ func (e *Engine) allDone() bool {
 
 // submit is called from a stream goroutine (via a QueuedDevice) to queue a
 // request and block until its completion; it returns with c advanced to
-// the completion instant.
-func (e *Engine) submit(c *simclock.Clock, dev device.ID, off, length int64, write bool) {
+// the completion instant. The returned error is the dispatch outcome — a
+// fault injected below the queue, which the stream's kernel retry policy
+// handles exactly as on an unqueued device.
+func (e *Engine) submit(c *simclock.Clock, dev device.ID, off, length int64, write bool) error {
 	st := e.streams[e.current]
 	r := &Request{
 		Stream:  st.id,
@@ -378,6 +382,7 @@ func (e *Engine) submit(c *simclock.Clock, dev device.ID, off, length int64, wri
 	e.events <- event{stream: st.id, req: r}
 	granted := <-st.resume
 	c.AdvanceTo(granted)
+	return r.Err
 }
 
 // FinishTime reports a stream's virtual completion instant (meaningful
@@ -415,9 +420,13 @@ func (e *Engine) InFlightRemaining(id device.ID, now simclock.Duration) simclock
 }
 
 // QueuedDevice wraps a device with the engine's request queue. It
-// satisfies device.Device, so internal/vfs and internal/cache use it
-// unchanged: a stream's read blocks in virtual time until the scheduler
-// has serviced it; outside Run the wrapper is transparent.
+// satisfies device.Device and device.FallibleDevice, so internal/vfs and
+// internal/cache use it unchanged: a stream's read blocks in virtual time
+// until the scheduler has serviced it; outside Run the wrapper is
+// transparent. Stacking composes both ways — an Injector wrapped over a
+// QueuedDevice faults at submission time (before queueing), a QueuedDevice
+// over an Injector faults at dispatch time (the request occupies the
+// device) — and errors propagate through either order.
 type QueuedDevice struct {
 	e  *Engine
 	dq *devQueue
@@ -426,22 +435,36 @@ type QueuedDevice struct {
 // Info implements device.Device.
 func (q *QueuedDevice) Info() device.Info { return q.dq.dev.Info() }
 
-// Read implements device.Device.
+// Read implements the infallible device path; like faults.Injector, it
+// panics if the underlying device faults, because an infallible caller
+// has no way to observe the error. Fault-aware code uses device.ReadErr.
 func (q *QueuedDevice) Read(c *simclock.Clock, off, length int64) {
-	if !q.e.running {
-		q.dq.dev.Read(c, off, length)
-		return
+	if err := q.ReadErr(c, off, length); err != nil {
+		panic(fmt.Sprintf("iosched: infallible Read on a faulted device: %v", err))
 	}
-	q.e.submit(c, q.dq.id, off, length, false)
 }
 
-// Write implements device.Device.
+// Write implements the infallible device path; see Read.
 func (q *QueuedDevice) Write(c *simclock.Clock, off, length int64) {
-	if !q.e.running {
-		q.dq.dev.Write(c, off, length)
-		return
+	if err := q.WriteErr(c, off, length); err != nil {
+		panic(fmt.Sprintf("iosched: infallible Write on a faulted device: %v", err))
 	}
-	q.e.submit(c, q.dq.id, off, length, true)
+}
+
+// ReadErr implements device.FallibleDevice.
+func (q *QueuedDevice) ReadErr(c *simclock.Clock, off, length int64) error {
+	if !q.e.running {
+		return device.ReadErr(q.dq.dev, c, off, length)
+	}
+	return q.e.submit(c, q.dq.id, off, length, false)
+}
+
+// WriteErr implements device.FallibleDevice.
+func (q *QueuedDevice) WriteErr(c *simclock.Clock, off, length int64) error {
+	if !q.e.running {
+		return device.WriteErr(q.dq.dev, c, off, length)
+	}
+	return q.e.submit(c, q.dq.id, off, length, true)
 }
 
 // Underlying returns the wrapped raw device.

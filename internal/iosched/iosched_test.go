@@ -5,7 +5,10 @@ import (
 	"reflect"
 	"testing"
 
+	"errors"
+
 	"sleds/internal/device"
+	"sleds/internal/faults"
 	"sleds/internal/simclock"
 	"sleds/internal/vfs"
 	"sleds/internal/workload"
@@ -17,6 +20,7 @@ type fakeDev struct {
 	id     device.ID
 	cost   simclock.Duration
 	served []int64
+	resets int
 }
 
 func (f *fakeDev) Info() device.Info {
@@ -27,7 +31,7 @@ func (f *fakeDev) Read(c *simclock.Clock, off, length int64) {
 	c.Advance(f.cost)
 }
 func (f *fakeDev) Write(c *simclock.Clock, off, length int64) { f.Read(c, off, length) }
-func (f *fakeDev) Reset()                                     {}
+func (f *fakeDev) Reset()                                     { f.resets++ }
 
 // testKernel boots a minimal kernel with a fake device attached.
 func testKernel(t *testing.T, cost simclock.Duration) (*vfs.Kernel, *fakeDev, device.ID) {
@@ -340,4 +344,98 @@ func TestSchedulerFactory(t *testing.T) {
 		}
 	}()
 	NewScheduler("nope")
+}
+
+// faultCfg is a deterministic "first attempt at an offset fails" config
+// for the stacking tests below.
+func faultCfg() faults.Config {
+	return faults.Config{Seed: 1, PFault: 1, MaxConsecutive: 1}
+}
+
+// TestInjectorOverQueuedDevice stacks a fault injector over the engine's
+// queue wrapper (Registry.Replace after Queue): faults fire at submission
+// time, before the request occupies the device, and a retry rides the
+// episode out through the queue.
+func TestInjectorOverQueuedDevice(t *testing.T) {
+	k, fd, id := testKernel(t, simclock.Millisecond)
+	e := NewEngine(k)
+	e.Queue(id, NewFCFS())
+	wrapped, inj := faults.Wrap(k.Devices.Get(id), faultCfg())
+	k.Devices.Replace(id, wrapped)
+
+	var firstErr error
+	e.AddStream(0, func(h *Handle) error {
+		d := k.Devices.Get(id)
+		firstErr = device.ReadErr(d, k.Clock, 512, 4096)
+		return device.ReadErr(d, k.Clock, 512, 4096)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var f *device.Fault
+	if !errors.As(firstErr, &f) {
+		t.Fatalf("first attempt error %v does not carry *device.Fault", firstErr)
+	}
+	// The faulted submission never reached the raw device; the retry did.
+	if !reflect.DeepEqual(fd.served, []int64{512}) {
+		t.Fatalf("raw device served %v, want [512]", fd.served)
+	}
+	if inj.Stats().Faults != 1 {
+		t.Fatalf("injector counted %d faults, want 1", inj.Stats().Faults)
+	}
+}
+
+// TestQueuedDeviceOverInjector stacks the engine's queue wrapper over a
+// fault injector (Replace before Queue): faults fire at dispatch time,
+// while the request occupies the device, and still propagate to the
+// submitting stream.
+func TestQueuedDeviceOverInjector(t *testing.T) {
+	k, fd, id := testKernel(t, simclock.Millisecond)
+	wrapped, inj := faults.Wrap(k.Devices.Get(id), faultCfg())
+	k.Devices.Replace(id, wrapped)
+	e := NewEngine(k)
+	e.Queue(id, NewFCFS())
+
+	var firstErr error
+	e.AddStream(0, func(h *Handle) error {
+		d := k.Devices.Get(id)
+		firstErr = device.ReadErr(d, k.Clock, 512, 4096)
+		return device.ReadErr(d, k.Clock, 512, 4096)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var f *device.Fault
+	if !errors.As(firstErr, &f) {
+		t.Fatalf("dispatch-time fault %v did not propagate as *device.Fault", firstErr)
+	}
+	if !reflect.DeepEqual(fd.served, []int64{512}) {
+		t.Fatalf("raw device served %v, want [512]", fd.served)
+	}
+	if inj.Stats().Faults != 1 {
+		t.Fatalf("injector counted %d faults, want 1", inj.Stats().Faults)
+	}
+}
+
+// TestResetAllReachesInnermostThroughStack checks contract point 1 of
+// Registry.Replace: every wrapper's Reset forwards, so ResetAll reaches
+// the raw device under any stacking order and depth.
+func TestResetAllReachesInnermostThroughStack(t *testing.T) {
+	for _, order := range []string{"injector-over-queue", "queue-over-injector"} {
+		k, fd, id := testKernel(t, simclock.Millisecond)
+		e := NewEngine(k)
+		if order == "injector-over-queue" {
+			e.Queue(id, NewFCFS())
+			wrapped, _ := faults.Wrap(k.Devices.Get(id), faultCfg())
+			k.Devices.Replace(id, wrapped)
+		} else {
+			wrapped, _ := faults.Wrap(k.Devices.Get(id), faultCfg())
+			k.Devices.Replace(id, wrapped)
+			e.Queue(id, NewFCFS())
+		}
+		k.Devices.ResetAll()
+		if fd.resets != 1 {
+			t.Fatalf("%s: raw device saw %d resets, want 1", order, fd.resets)
+		}
+	}
 }

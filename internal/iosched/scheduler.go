@@ -19,6 +19,12 @@ type Request struct {
 	Arrival  simclock.Duration
 	Deadline simclock.Duration
 
+	// Err is the outcome of servicing the request: non-nil when the
+	// underlying (fault-injected) device failed the dispatch. It travels
+	// back to the submitting stream, whose kernel retry policy decides
+	// whether to resubmit.
+	Err error
+
 	// seq is the engine-wide submission sequence number. Submission order
 	// is itself deterministic (the engine runs streams in virtual-time,
 	// stream-ID order), so seq is a stable final tie-break for schedulers.

@@ -155,8 +155,9 @@ func (m *Mount) serverInsert(page int64) {
 
 // readThrough charges one remote read of [off, off+n): RTT, then server
 // memory or disk, then the wire transfer. The server caches what its disk
-// returns.
-func (m *Mount) readThrough(c *simclock.Clock, off, n int64) {
+// returns. A fault on the server disk aborts the request (the bytes after
+// it never cross the wire).
+func (m *Mount) readThrough(c *simclock.Clock, off, n int64) error {
 	c.Advance(m.cfg.RTT)
 	end := off + n
 	for cur := off; cur < end; {
@@ -169,17 +170,20 @@ func (m *Mount) readThrough(c *simclock.Clock, off, n int64) {
 		if m.serverHas(page, true) {
 			m.serverMem.Read(c, cur, stop-cur)
 		} else {
-			m.serverDisk.Read(c, cur, stop-cur)
+			if err := device.ReadErr(m.serverDisk, c, cur, stop-cur); err != nil {
+				return err
+			}
 			m.serverInsert(page)
 		}
 		cur = stop
 	}
 	c.Advance(simclock.TransferTime(n, m.cfg.WireBandwidth))
+	return nil
 }
 
 // Fetch implements vfs.Stager.
-func (m *Mount) Fetch(ino *vfs.Inode, devOff, length int64) {
-	m.readThrough(m.k.Clock, devOff, length)
+func (m *Mount) Fetch(ino *vfs.Inode, devOff, length int64) error {
+	return m.readThrough(m.k.Clock, devOff, length)
 }
 
 // DeviceFor implements vfs.Stager: server-cached pages report the fast

@@ -17,6 +17,11 @@ import (
 //
 // All fields big-endian; floats are IEEE 754 bit patterns. The format is
 // versionless by design: the paper's struct sled is the protocol.
+//
+// The format does not carry core.SLED's Confidence grade (the paper's
+// struct has no such field); decoded SLEDs therefore report Confidence 0
+// = unknown, which degradation-aware consumers (sledlib.PruneDegraded)
+// must treat as "keep", never as "degraded".
 
 const (
 	wireMagic   = 0x534c4544 // "SLED"

@@ -68,3 +68,36 @@ func FileSetOrder(k *vfs.Kernel, tab *core.Table, paths []string, plan core.Plan
 	}
 	return outPaths, outEst
 }
+
+// PruneDegraded splits a file set by the degradation grade of its SLEDs:
+// a file is degraded when any of its SLEDs carries a confidence below
+// minConfidence — i.e. some of its bytes live on a device whose health
+// penalty dominates the calibrated latency. Unknown confidence (0, e.g.
+// wire-decoded SLEDs) and unreadable files are kept: pruning is an
+// optimisation and must not drop data on missing information. Both slices
+// preserve input order.
+//
+// Callers that cannot afford to skip data use FileSetOrder (degraded
+// files sort last automatically, because the health penalty inflates
+// their latency estimates); PruneDegraded is for callers with a deadline,
+// the "find -latency" style of use.
+func PruneDegraded(k *vfs.Kernel, tab *core.Table, paths []string, minConfidence float64) (keep, degraded []string) {
+	for _, p := range paths {
+		worst := 1.0
+		if n, err := k.Stat(p); err == nil && !n.IsDir() {
+			if sleds, err := core.Query(k, tab, n); err == nil {
+				for _, s := range sleds {
+					if s.Confidence > 0 && s.Confidence < worst {
+						worst = s.Confidence
+					}
+				}
+			}
+		}
+		if worst < minConfidence {
+			degraded = append(degraded, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	return keep, degraded
+}

@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"sleds/internal/core"
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+	"sleds/internal/workload"
 )
 
 func TestFileSetOrderCachedFirst(t *testing.T) {
@@ -135,5 +138,61 @@ func TestRefreshOnFinishedPickerIsNoop(t *testing.T) {
 	p.Finish()
 	if err := p.Refresh(); err != nil {
 		t.Fatalf("Refresh after Finish: %v", err)
+	}
+}
+
+// degradedMachine is newMachine plus an NFS device with table entries, so
+// pruning has a second device to split on.
+func degradedMachine(t testing.TB) (*machine, device.ID) {
+	t.Helper()
+	m := newMachine(t, 16)
+	nfs := m.k.AttachDevice(device.NewNFS(device.DefaultNFSConfig(2)))
+	if err := m.tab.SetDevice(nfs, core.Entry{Latency: 0.27, Bandwidth: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	return m, nfs
+}
+
+func TestPruneDegradedSplitsByConfidence(t *testing.T) {
+	m, nfs := degradedMachine(t)
+	f := m.textFile(t, "/d/local", 1, 4*testPage)
+	f.Close()
+	if _, err := m.k.Create("/d/remote", nfs, workload.NewText(2, 4*testPage, testPage)); err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{"/d/remote", "/d/local"}
+
+	keep, degraded := PruneDegraded(m.k, m.tab, paths, 0.5)
+	if len(keep) != 2 || len(degraded) != 0 {
+		t.Fatalf("healthy machine pruned: keep=%v degraded=%v", keep, degraded)
+	}
+	if keep[0] != "/d/remote" || keep[1] != "/d/local" {
+		t.Fatalf("keep does not preserve input order: %v", keep)
+	}
+
+	// Penalty 10x the calibrated NFS latency: confidence ~0.027 of
+	// remote's uncached pages, local untouched.
+	m.tab.ObserveFault(nfs, 10*270*simclock.Millisecond, m.k.Clock.Now())
+	keep, degraded = PruneDegraded(m.k, m.tab, paths, 0.5)
+	if len(keep) != 1 || keep[0] != "/d/local" {
+		t.Fatalf("keep = %v, want [/d/local]", keep)
+	}
+	if len(degraded) != 1 || degraded[0] != "/d/remote" {
+		t.Fatalf("degraded = %v, want [/d/remote]", degraded)
+	}
+}
+
+func TestPruneDegradedKeepsOnMissingInformation(t *testing.T) {
+	m, nfs := degradedMachine(t)
+	f := m.textFile(t, "/d/a", 1, 4*testPage)
+	f.Close()
+	m.tab.ObserveFault(nfs, simclock.Second, m.k.Clock.Now())
+	// An unreadable path and a directory cannot be graded: both kept.
+	keep, degraded := PruneDegraded(m.k, m.tab, []string{"/d/missing", "/d", "/d/a"}, 0.5)
+	if len(degraded) != 0 {
+		t.Fatalf("ungradeable paths pruned: %v", degraded)
+	}
+	if len(keep) != 3 || keep[0] != "/d/missing" || keep[1] != "/d" || keep[2] != "/d/a" {
+		t.Fatalf("keep = %v, want all three in input order", keep)
 	}
 }

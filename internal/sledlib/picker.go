@@ -85,8 +85,9 @@ var ErrFinished = errors.New("sledlib: pick sequence finished")
 
 // chunk is one advised read.
 type chunk struct {
-	off, n  int64
-	latency float64
+	off, n     int64
+	latency    float64
+	confidence float64 // degradation grade of the SLED the chunk came from
 }
 
 // Picker hands out the read schedule for one open file. It assumes, as
@@ -198,23 +199,23 @@ func (p *Picker) Refresh() error {
 	}
 	remaining := p.chunks[p.next:]
 	for i := range remaining {
-		remaining[i].latency = latencyAt(sleds, remaining[i].off)
+		remaining[i].latency, remaining[i].confidence = estimateAt(sleds, remaining[i].off)
 	}
 	scheduleChunks(remaining, p.order)
 	return nil
 }
 
-// latencyAt returns the latency estimate covering offset off in a SLED
-// vector (vectors are sorted and contiguous).
-func latencyAt(sleds []core.SLED, off int64) float64 {
+// estimateAt returns the latency and confidence estimates covering offset
+// off in a SLED vector (vectors are sorted and contiguous).
+func estimateAt(sleds []core.SLED, off int64) (latency, confidence float64) {
 	i := sort.Search(len(sleds), func(i int) bool { return sleds[i].End() > off })
 	if i >= len(sleds) {
 		if len(sleds) == 0 {
-			return 0
+			return 0, 0
 		}
-		return sleds[len(sleds)-1].Latency
+		i = len(sleds) - 1
 	}
-	return sleds[i].Latency
+	return sleds[i].Latency, sleds[i].Confidence
 }
 
 // TotalDeliveryTime estimates time to read the whole file under the given
@@ -242,7 +243,7 @@ func buildChunks(sleds []core.SLED, bufSize int64) []chunk {
 			if off+n > s.End() {
 				n = s.End() - off
 			}
-			out = append(out, chunk{off: off, n: n, latency: s.Latency})
+			out = append(out, chunk{off: off, n: n, latency: s.Latency, confidence: s.Confidence})
 		}
 	}
 	return out
@@ -255,6 +256,13 @@ func scheduleChunks(chunks []chunk, order Order) {
 		sort.SliceStable(chunks, func(i, j int) bool {
 			if chunks[i].latency != chunks[j].latency {
 				return chunks[i].latency < chunks[j].latency
+			}
+			// Among equal latencies prefer higher confidence: a degraded
+			// device's estimate is a lower bound (its retry tail is not in
+			// the SLED), so the trusted chunk is the safer first read. On
+			// healthy machines every confidence is equal and this is a no-op.
+			if chunks[i].confidence != chunks[j].confidence {
+				return chunks[i].confidence > chunks[j].confidence
 			}
 			return chunks[i].off < chunks[j].off
 		})

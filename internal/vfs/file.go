@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"sleds/internal/cache"
+	"sleds/internal/device"
 )
 
 // File is an open file descriptor over a simulated inode.
@@ -57,15 +58,21 @@ func (f *File) Close() error {
 	return nil
 }
 
-// Sync writes the file's dirty pages to its device (fsync).
+// Sync writes the file's dirty pages to its device (fsync). A page whose
+// write-back fails after the kernel's retries surfaces the first such
+// error (fsync reports EIO), though the remaining pages are still
+// attempted.
 func (f *File) Sync() error {
 	if f.closed {
 		return ErrClosed
 	}
+	var firstErr error
 	f.k.cache.FlushFile(uint64(f.ino.ino), func(key cache.Key, data []byte) {
-		f.k.writePageToDevice(f.ino, key.Page, data)
+		if err := f.k.writePageToDevice(f.ino, key.Page, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	})
-	return nil
+	return firstErr
 }
 
 // Seek implements the usual lseek semantics.
@@ -146,7 +153,12 @@ func (f *File) readAt(p []byte, off int64, chargeCopy bool) (int, error) {
 		if n > want-done {
 			n = want - done
 		}
-		data := f.ensureResident(page, want-done)
+		data, err := f.ensureResident(page, want-done)
+		if err != nil {
+			// Partial read up to the failed page; EIO surfaces to the app.
+			f.k.stats.BytesRead += done
+			return int(done), err
+		}
 		copy(p[done:done+n], data[inPage:inPage+n])
 		done += n
 	}
@@ -171,21 +183,24 @@ func (f *File) readAt(p []byte, off int64, chargeCopy bool) (int, error) {
 // this page onward; contiguous missing pages within that window are
 // fetched in a single device request, which is how the real kernel
 // clusters paging I/O.
-func (f *File) ensureResident(page, remaining int64) []byte {
+//
+// A device fault is retried per the kernel's RetryPolicy; the returned
+// error (wrapping ErrIO) means the policy gave up.
+func (f *File) ensureResident(page, remaining int64) ([]byte, error) {
 	k := f.k
 	key := cache.Key{File: uint64(f.ino.ino), Page: page}
 	if data, ok := k.cache.Get(key); ok {
 		if k.waitIfPending(key) {
 			// Served by an asynchronous prefetch (possibly after waiting
 			// for it to complete); accounted as PrefetchedPages.
-			return data
+			return data, nil
 		}
 		// Pages pulled in by this very request's cluster are not cache
 		// hits in the measured sense; they were faulted moments ago.
 		if page < f.clusterStart || page >= f.clusterEnd {
 			k.stats.CacheHits++
 		}
-		return data
+		return data, nil
 	}
 	k.cache.RecordMiss()
 
@@ -229,16 +244,26 @@ func (f *File) ensureResident(page, remaining int64) []byte {
 		}
 	}
 
+	var err error
 	if k.stager != nil && k.stagedDevs[f.ino.dev] {
-		k.chargeIO(func() { k.stager.Fetch(f.ino, start, length) })
+		err = k.chargeIO(func() error {
+			return k.deviceAccess(func() error { return k.stager.Fetch(f.ino, start, length) })
+		})
 	} else {
-		k.chargeIO(func() { dev.Read(k.Clock, start, length) })
+		err = k.chargeIO(func() error {
+			return k.deviceAccess(func() error { return device.ReadErr(dev, k.Clock, start, length) })
+		})
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	for q := page; q < page+run; q++ {
 		buf := make([]byte, ps)
 		f.ino.content.ReadPage(q, buf)
-		k.cache.Insert(cache.Key{File: uint64(f.ino.ino), Page: q}, buf, false)
+		if err := k.cache.Insert(cache.Key{File: uint64(f.ino.ino), Page: q}, buf, false); err != nil {
+			return nil, err
+		}
 	}
 	// Demand-missed pages are hard faults; pure readahead beyond the
 	// requested window is accounted separately.
@@ -254,7 +279,7 @@ func (f *File) ensureResident(page, remaining int64) []byte {
 	if !ok {
 		panic("vfs: page vanished immediately after fault")
 	}
-	return data
+	return data, nil
 }
 
 // WriteAt writes len(p) bytes at offset off, growing the file as needed.
@@ -302,10 +327,15 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 				f.ino.content.ReadPage(page, buf)
 			}
 			copy(buf[inPage:inPage+n], p[done:done+n])
-			f.k.cache.Insert(key, buf, true)
+			if err := f.k.cache.Insert(key, buf, true); err != nil {
+				return int(done), err
+			}
 		} else {
 			// Partial overwrite of a non-resident page: read-modify-write.
-			data := f.ensureResident(page, n)
+			data, err := f.ensureResident(page, n)
+			if err != nil {
+				return int(done), err
+			}
 			copy(data[inPage:inPage+n], p[done:done+n])
 			f.k.cache.MarkDirty(key)
 		}

@@ -30,7 +30,63 @@ var (
 	ErrClosed   = errors.New("file already closed")
 	ErrReadOnly = errors.New("read-only device")
 	ErrNoSpace  = errors.New("no space left on device")
+	// ErrIO is surfaced (wrapped, EIO-style) when a device access still
+	// fails after the retry policy is exhausted. Check with errors.Is.
+	ErrIO = errors.New("input/output error")
 )
+
+// RetryPolicy governs how the kernel responds to device faults on the
+// fallible I/O path (device.FallibleDevice): how many attempts one
+// request gets, and the capped exponential backoff between them, all in
+// virtual time.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per request (first try included);
+	// <= 0 selects the default (5).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; each further retry
+	// doubles it. <= 0 selects the default (10 ms).
+	Backoff simclock.Duration
+	// BackoffCap caps the exponential schedule. <= 0 selects the default
+	// (1 s).
+	BackoffCap simclock.Duration
+	// FailFast surfaces the first fault as EIO immediately instead of
+	// retrying (fail-fast vs the default fail-safe behaviour).
+	FailFast bool
+}
+
+// DefaultRetryPolicy returns the fail-safe default: 5 attempts, 10 ms
+// initial backoff doubling to a 1 s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, Backoff: 10 * simclock.Millisecond, BackoffCap: simclock.Second}
+}
+
+// withDefaults fills unset fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = d.Backoff
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = d.BackoffCap
+	}
+	return p
+}
+
+// backoffBefore returns the delay before attempt number next (>= 2):
+// Backoff doubled per prior retry, capped at BackoffCap.
+func (p RetryPolicy) backoffBefore(next int) simclock.Duration {
+	b := p.Backoff
+	for i := 2; i < next && b < p.BackoffCap; i++ {
+		b *= 2
+	}
+	if b > p.BackoffCap {
+		b = p.BackoffCap
+	}
+	return b
+}
 
 // Ino is a kernel-wide unique inode number.
 type Ino uint64
@@ -54,6 +110,9 @@ type Config struct {
 	// activity; frac 0 disables.
 	JitterSeed int64
 	JitterFrac float64
+	// Retry governs fault handling on the fallible device path; the zero
+	// value selects DefaultRetryPolicy.
+	Retry RetryPolicy
 }
 
 // RunStats counts the activity of one measured run (between ResetRunStats
@@ -73,6 +132,13 @@ type RunStats struct {
 	PrefetchIssued  int64 // pages scheduled on background device timelines
 	PrefetchedPages int64 // demand accesses served by a completed prefetch
 	PrefetchWaits   int64 // demand accesses that waited for in-flight I/O
+
+	// Fault handling (the internal/faults substrate):
+	DeviceFaults  int64             // failed device attempts observed
+	Retries       int64             // attempts re-issued after a fault
+	RetryWait     simclock.Duration // virtual time spent in retry backoff
+	EIOs          int64             // requests abandoned after the policy gave up
+	WritebackEIOs int64             // asynchronous write-backs among them (page dropped)
 }
 
 // Kernel is the simulated machine: clock, devices, cache, and file tree.
@@ -100,6 +166,10 @@ type Kernel struct {
 
 	// nextAlloc tracks the next free byte on each device.
 	nextAlloc map[device.ID]int64
+
+	// faultObs, when set, sees every device fault the kernel observes
+	// (the sleds table's health feed).
+	faultObs func(*device.Fault)
 
 	stats RunStats
 }
@@ -181,11 +251,19 @@ func (k *Kernel) ChargeCPUBytes(n int64, bytesPerSec float64) {
 	k.ChargeCPU(simclock.TransferTime(n, bytesPerSec))
 }
 
+// SetFaultObserver installs fn to be called on every device fault the
+// kernel observes on its I/O paths (demand reads, readahead, prefetch,
+// write-back), including faults that a retry then rides out. The sleds
+// table's health tracking hooks in here; nil detaches.
+func (k *Kernel) SetFaultObserver(fn func(*device.Fault)) { k.faultObs = fn }
+
 // chargeIO runs fn (a device access) and accounts the elapsed virtual time
-// as I/O wait, with jitter applied on top.
-func (k *Kernel) chargeIO(fn func()) {
+// as I/O wait, with jitter applied on top. The access's error (EIO after
+// the retry policy gave up) is returned unchanged; its failed attempts
+// still cost I/O wait.
+func (k *Kernel) chargeIO(fn func() error) error {
 	before := k.Clock.Now()
-	fn()
+	err := fn()
 	dt := k.Clock.Now() - before
 	if k.jitter != nil && dt > 0 {
 		perturbed := k.jitter.Perturb(dt)
@@ -195,10 +273,45 @@ func (k *Kernel) chargeIO(fn func()) {
 		}
 	}
 	k.stats.IOWait += dt
+	return err
+}
+
+// deviceAccess runs one logical device access with the kernel's retry
+// policy: device faults are counted, reported to the fault observer, and
+// retried after capped exponential backoff (in virtual time, charged to
+// the current clock); when the policy gives up the access fails with a
+// wrapped ErrIO. Non-fault errors pass through untouched.
+func (k *Kernel) deviceAccess(fn func() error) error {
+	pol := k.cfg.Retry.withDefaults()
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var f *device.Fault
+		if !errors.As(err, &f) {
+			return err
+		}
+		k.stats.DeviceFaults++
+		if k.faultObs != nil {
+			k.faultObs(f)
+		}
+		if pol.FailFast || attempt >= pol.MaxAttempts {
+			k.stats.EIOs++
+			return fmt.Errorf("vfs: device %d (%s fault, %d attempt(s)): %w", f.Dev, f.Class, attempt, ErrIO)
+		}
+		back := pol.backoffBefore(attempt + 1)
+		k.Clock.Advance(back)
+		k.stats.Retries++
+		k.stats.RetryWait += back
+	}
 }
 
 // onEvict is the cache's eviction callback: dirty pages are written back
-// to their device.
+// to their device. Eviction is asynchronous write-back — there is no one
+// to return an error to — so a write-back that still fails after retries
+// is counted (WritebackEIOs) and the page dropped, as a real kernel's
+// failed async write-back ends up doing.
 func (k *Kernel) onEvict(key cache.Key, data []byte, dirty bool) {
 	// An evicted page can no longer be served by its in-flight prefetch.
 	delete(k.pending, key)
@@ -210,17 +323,27 @@ func (k *Kernel) onEvict(key cache.Key, data []byte, dirty bool) {
 		// File deleted with dirty pages still cached; drop them.
 		return
 	}
-	k.writePageToDevice(ino, key.Page, data)
+	// The error is already accounted in WritebackEIOs.
+	_ = k.writePageToDevice(ino, key.Page, data)
 }
 
 // writePageToDevice stores page data into the inode's content and charges
-// the device write.
-func (k *Kernel) writePageToDevice(ino *Inode, page int64, data []byte) {
+// the device write, with retries per the kernel policy.
+func (k *Kernel) writePageToDevice(ino *Inode, page int64, data []byte) error {
 	ino.content.WritePage(page, data)
 	dev := k.Devices.Get(ino.dev)
 	off := ino.extent + page*int64(k.cfg.PageSize)
-	k.chargeIO(func() { dev.Write(k.Clock, off, int64(len(data))) })
+	err := k.chargeIO(func() error {
+		return k.deviceAccess(func() error {
+			return device.WriteErr(dev, k.Clock, off, int64(len(data)))
+		})
+	})
+	if err != nil {
+		k.stats.WritebackEIOs++
+		return err
+	}
 	k.stats.PagesWrittenDev++
+	return nil
 }
 
 // allocExtent reserves size bytes of contiguous space on a device,
@@ -258,8 +381,11 @@ func (k *Kernel) allocExtent(id device.ID, size int64) (int64, error) {
 type Stager interface {
 	// Fetch charges the virtual-time cost of making [devOff, devOff+n) of
 	// the file's backing bytes available for copying into the page cache,
-	// migrating between levels as needed.
-	Fetch(ino *Inode, devOff, length int64)
+	// migrating between levels as needed. A fault on an underlying device
+	// surfaces as the error (the kernel's retry policy then re-runs the
+	// whole fetch; already-migrated blocks are simply served from the
+	// stage on the retry).
+	Fetch(ino *Inode, devOff, length int64) error
 	// DeviceFor reports the device the byte at devOff would currently be
 	// served from.
 	DeviceFor(ino *Inode, devOff int64) device.ID
@@ -311,13 +437,16 @@ func (k *Kernel) DropCaches() {
 	}
 }
 
-// SyncAll writes every dirty page back to its device (sync(2)).
+// SyncAll writes every dirty page back to its device (sync(2)). Pages
+// whose write-back still fails after retries are counted in
+// WritebackEIOs and dropped — sync(2) historically absorbs write errors
+// silently; File.Sync is the path that reports them.
 func (k *Kernel) SyncAll() {
 	k.cache.FlushDirty(func(key cache.Key, data []byte) {
 		ino, ok := k.inodes[Ino(key.File)]
 		if !ok {
 			return
 		}
-		k.writePageToDevice(ino, key.Page, data)
+		_ = k.writePageToDevice(ino, key.Page, data)
 	})
 }

@@ -92,24 +92,37 @@ func (k *Kernel) schedulePrefetch(dev device.Device, n *Inode, page, run int64) 
 			run = length / ps
 		}
 	}
-	if k.stager != nil && k.stagedDevs[n.dev] {
-		// Prefetching through the HSM stager migrates on the background
-		// timeline too.
-		k.withScratchClock(scratch, func() { k.stager.Fetch(n, devOff, length) })
-	} else {
-		dev.Read(scratch, devOff, length)
-	}
+	// Faults on the background timeline are retried there per the kernel
+	// policy (the scratch clock is installed so backoff lands on it); a
+	// prefetch that still fails is simply dropped — readahead is advisory,
+	// and the demand path will retry the pages on its own later.
+	var err error
+	k.withScratchClock(scratch, func() {
+		if k.stager != nil && k.stagedDevs[n.dev] {
+			// Prefetching through the HSM stager migrates on the background
+			// timeline too.
+			err = k.deviceAccess(func() error { return k.stager.Fetch(n, devOff, length) })
+		} else {
+			err = k.deviceAccess(func() error { return device.ReadErr(dev, k.Clock, devOff, length) })
+		}
+	})
 	completion := scratch.Now()
 	if k.busyUntil == nil {
 		k.busyUntil = make(map[device.ID]simclock.Duration)
 	}
+	// The device was busy for the failed attempts either way.
 	k.busyUntil[dev.Info().ID] = completion
+	if err != nil {
+		return
+	}
 
 	for q := page; q < page+run; q++ {
 		buf := make([]byte, ps)
 		n.content.ReadPage(q, buf)
 		key := cache.Key{File: uint64(n.ino), Page: q}
-		k.cache.Insert(key, buf, false)
+		if k.cache.Insert(key, buf, false) != nil {
+			return
+		}
 		k.pending[key] = completion
 	}
 	k.stats.PrefetchIssued += run

@@ -1,0 +1,227 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+	"sleds/internal/workload"
+)
+
+// flakyDev is a fallible device with a scripted failure count: the first
+// failFor accesses fault (costing extra each), the rest succeed (costing
+// cost). It records the virtual-time instant of every attempt, which is
+// what the golden backoff traces check.
+type flakyDev struct {
+	id       device.ID
+	failFor  int
+	extra    simclock.Duration
+	cost     simclock.Duration
+	attempts []simclock.Duration
+	seq      int64
+}
+
+func (f *flakyDev) Info() device.Info {
+	return device.Info{ID: f.id, Name: "flaky", Level: device.LevelDisk, Size: 1 << 40}
+}
+
+func (f *flakyDev) ReadErr(c *simclock.Clock, off, length int64) error {
+	f.attempts = append(f.attempts, c.Now())
+	if f.failFor > 0 {
+		f.failFor--
+		f.seq++
+		c.Advance(f.extra)
+		return &device.Fault{Dev: f.id, Class: device.FaultTransient, Extra: f.extra, Seq: f.seq}
+	}
+	c.Advance(f.cost)
+	return nil
+}
+
+func (f *flakyDev) WriteErr(c *simclock.Clock, off, length int64) error {
+	return f.ReadErr(c, off, length)
+}
+
+func (f *flakyDev) Read(c *simclock.Clock, off, length int64) {
+	if err := f.ReadErr(c, off, length); err != nil {
+		panic(err)
+	}
+}
+
+func (f *flakyDev) Write(c *simclock.Clock, off, length int64) {
+	if err := f.WriteErr(c, off, length); err != nil {
+		panic(err)
+	}
+}
+
+func (f *flakyDev) Reset() {}
+
+// flakyKernel boots a kernel whose only data device is a flakyDev.
+func flakyKernel(t *testing.T, pol RetryPolicy, failFor int) (*Kernel, *flakyDev, device.ID) {
+	t.Helper()
+	mem := device.NewMem(device.DefaultMemConfig(0))
+	k := NewKernel(Config{PageSize: testPage, CachePages: 64, MemDevice: mem, Retry: pol})
+	k.AttachDevice(mem)
+	fd := &flakyDev{id: 1, failFor: failFor, extra: 5 * simclock.Millisecond, cost: simclock.Millisecond}
+	id := k.AttachDevice(fd)
+	if err := k.MkdirAll("/data"); err != nil {
+		t.Fatal(err)
+	}
+	return k, fd, id
+}
+
+// TestRetryBackoffGoldenTrace pins the exact virtual-time schedule of a
+// retried access: attempt k starts after the failed attempts' costs plus
+// the capped exponential backoff 10, 20, 40, 70, 70 ms (Backoff doubled
+// per retry, clamped at BackoffCap).
+func TestRetryBackoffGoldenTrace(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 6, Backoff: 10 * simclock.Millisecond, BackoffCap: 70 * simclock.Millisecond}
+	k, fd, _ := flakyKernel(t, pol, 5)
+	err := k.deviceAccess(func() error { return device.ReadErr(fd, k.Clock, 0, testPage) })
+	if err != nil {
+		t.Fatalf("access with 5 faults under a 6-attempt policy failed: %v", err)
+	}
+	want := []simclock.Duration{0, 15, 40, 85, 160, 235}
+	for i := range want {
+		want[i] *= simclock.Millisecond
+	}
+	if len(fd.attempts) != len(want) {
+		t.Fatalf("made %d attempts, want %d", len(fd.attempts), len(want))
+	}
+	for i, at := range fd.attempts {
+		if at != want[i] {
+			t.Errorf("attempt %d at %v, want %v", i+1, at, want[i])
+		}
+	}
+	if got := k.Clock.Now(); got != 236*simclock.Millisecond {
+		t.Errorf("final clock %v, want 236ms", got)
+	}
+	st := k.RunStats()
+	if st.DeviceFaults != 5 || st.Retries != 5 || st.EIOs != 0 {
+		t.Errorf("stats faults=%d retries=%d EIOs=%d, want 5/5/0", st.DeviceFaults, st.Retries, st.EIOs)
+	}
+	if want := 210 * simclock.Millisecond; st.RetryWait != want {
+		t.Errorf("retry wait %v, want %v", st.RetryWait, want)
+	}
+}
+
+// TestRetryExhaustionSurfacesEIO: when the device out-fails the policy,
+// the access ends in a wrapped ErrIO after exactly MaxAttempts attempts.
+func TestRetryExhaustionSurfacesEIO(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 3, Backoff: 10 * simclock.Millisecond, BackoffCap: simclock.Second}
+	k, fd, _ := flakyKernel(t, pol, 1<<30)
+	err := k.deviceAccess(func() error { return device.ReadErr(fd, k.Clock, 0, testPage) })
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("exhausted retries returned %v, want wrapped ErrIO", err)
+	}
+	if len(fd.attempts) != 3 {
+		t.Fatalf("made %d attempts, want 3", len(fd.attempts))
+	}
+	st := k.RunStats()
+	if st.DeviceFaults != 3 || st.Retries != 2 || st.EIOs != 1 {
+		t.Errorf("stats faults=%d retries=%d EIOs=%d, want 3/2/1", st.DeviceFaults, st.Retries, st.EIOs)
+	}
+}
+
+// TestFailFastSurfacesFirstFault: FailFast gives up on the first fault —
+// one attempt, no backoff spent.
+func TestFailFastSurfacesFirstFault(t *testing.T) {
+	k, fd, _ := flakyKernel(t, RetryPolicy{FailFast: true}, 1)
+	err := k.deviceAccess(func() error { return device.ReadErr(fd, k.Clock, 0, testPage) })
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("fail-fast returned %v, want wrapped ErrIO", err)
+	}
+	if len(fd.attempts) != 1 {
+		t.Fatalf("fail-fast made %d attempts, want 1", len(fd.attempts))
+	}
+	st := k.RunStats()
+	if st.DeviceFaults != 1 || st.Retries != 0 || st.RetryWait != 0 || st.EIOs != 1 {
+		t.Errorf("stats faults=%d retries=%d wait=%v EIOs=%d, want 1/0/0/1",
+			st.DeviceFaults, st.Retries, st.RetryWait, st.EIOs)
+	}
+}
+
+// TestZeroPolicyIsDefault: the zero RetryPolicy behaves as the documented
+// default (5 attempts): 4 faults ride out, 5 do not.
+func TestZeroPolicyIsDefault(t *testing.T) {
+	k, fd, _ := flakyKernel(t, RetryPolicy{}, 4)
+	if err := k.deviceAccess(func() error { return device.ReadErr(fd, k.Clock, 0, testPage) }); err != nil {
+		t.Fatalf("4 faults under the default policy failed: %v", err)
+	}
+	k2, fd2, _ := flakyKernel(t, RetryPolicy{}, 5)
+	err := k2.deviceAccess(func() error { return device.ReadErr(fd2, k2.Clock, 0, testPage) })
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("5 faults under the default policy returned %v, want ErrIO", err)
+	}
+}
+
+// TestReadSurfacesEIOToApplication drives the whole read path: a demand
+// page-in on a persistently failing device reaches the application as a
+// wrapped ErrIO from File.Read, not a panic.
+func TestReadSurfacesEIOToApplication(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 2, Backoff: simclock.Millisecond}
+	k, _, id := flakyKernel(t, pol, 1<<30)
+	if _, err := k.Create("/data/f", id, workload.NewText(1, 4*testPage, testPage)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := k.Open("/data/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, testPage)
+	_, err = f.Read(buf)
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("File.Read on a dead device returned %v, want wrapped ErrIO", err)
+	}
+	if k.RunStats().EIOs == 0 {
+		t.Error("EIO not counted in RunStats")
+	}
+}
+
+// TestWritebackEIOCounted: a failed write-back is counted, not surfaced —
+// there is no caller to return it to.
+func TestWritebackEIOCounted(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 2, Backoff: simclock.Millisecond}
+	k, fd, id := flakyKernel(t, pol, 0) // healthy while writing to cache
+	if _, err := k.CreateEmpty("/data/out", id); err != nil {
+		t.Fatal(err)
+	}
+	f, err := k.Open("/data/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(make([]byte, testPage), 0); err != nil {
+		t.Fatal(err)
+	}
+	fd.failFor = 1 << 30 // device dies before the flush
+	if err := f.Sync(); !errors.Is(err, ErrIO) {
+		t.Fatalf("Sync on a dead device returned %v, want wrapped ErrIO", err)
+	}
+	st := k.RunStats()
+	if st.WritebackEIOs != 1 {
+		t.Errorf("writeback EIOs = %d, want 1", st.WritebackEIOs)
+	}
+}
+
+// TestFaultObserverSeesEveryFault: the observer fires once per failed
+// attempt with the fault's own Extra, which is what feeds the sleds
+// health state.
+func TestFaultObserverSeesEveryFault(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 4, Backoff: simclock.Millisecond}
+	k, fd, _ := flakyKernel(t, pol, 3)
+	var seen []simclock.Duration
+	k.SetFaultObserver(func(f *device.Fault) { seen = append(seen, f.Extra) })
+	if err := k.deviceAccess(func() error { return device.ReadErr(fd, k.Clock, 0, testPage) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("observer saw %d faults, want 3", len(seen))
+	}
+	for i, extra := range seen {
+		if extra != fd.extra {
+			t.Errorf("fault %d extra %v, want %v", i, extra, fd.extra)
+		}
+	}
+}
