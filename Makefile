@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build vet fmt staticcheck test race bench determinism faults-smoke ci
+.PHONY: build vet fmt staticcheck lint test race bench determinism faults-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ fmt:
 # dependency. Needs network on the first run to fetch the tool.
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# lint runs sledlint, the in-repo determinism linter (cmd/sledlint):
+# wallclock, rngsource, mapiter, panicpath and simtime rules over the
+# whole module. Suppressions need //sledlint:allow <rule> -- <reason>.
+lint:
+	$(GO) run ./cmd/sledlint ./...
 
 test:
 	$(GO) test ./...
@@ -58,4 +64,4 @@ faults-smoke: vet
 	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy > /dev/null
 	@echo "faults-smoke: efaults completed with heavy injection on every device"
 
-ci: build vet fmt staticcheck test race determinism faults-smoke
+ci: build vet fmt staticcheck lint test race determinism faults-smoke

@@ -1,3 +1,10 @@
 module sleds
 
 go 1.22
+
+// No third-party requirements by design: the build must succeed with an
+// empty module cache and no network access. That is why cmd/sledlint is
+// built on a minimal stdlib-only mirror of golang.org/x/tools/go/analysis
+// (internal/lint/analysis) instead of a pinned x/tools dependency — see
+// DESIGN.md "Static invariants". If a network-enabled toolchain ever
+// adopts the real x/tools, pin it here and swap the imports mechanically.

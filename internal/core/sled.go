@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sleds/internal/device"
 	"sleds/internal/simclock"
@@ -351,12 +352,14 @@ func (t *Table) deviceAt(id device.ID, off int64) (Entry, bool) {
 	return e, ok
 }
 
-// Devices returns the IDs with installed entries.
+// Devices returns the IDs with installed entries, in ascending ID
+// order so that callers iterating the result stay deterministic.
 func (t *Table) Devices() []device.ID {
 	out := make([]device.ID, 0, len(t.devs))
 	for id := range t.devs {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

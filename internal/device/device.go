@@ -189,6 +189,8 @@ func NewRegistry() *Registry { return &Registry{} }
 // Attach adds a device and assigns it the next ID. The device's Info must
 // return the assigned ID afterwards; concrete devices in this package take
 // the ID at construction via their config, so Attach verifies consistency.
+//
+//sledlint:allow panicpath -- machine-wiring consistency check at boot, before any simulated I/O
 func (r *Registry) Attach(d Device) ID {
 	id := ID(len(r.devices))
 	if got := d.Info().ID; got != id {
@@ -215,6 +217,8 @@ func (r *Registry) Attach(d Device) ID {
 //  2. A wrapper that can fail should implement FallibleDevice and forward
 //     errors from a wrapped FallibleDevice, so faults injected below
 //     survive interposition above.
+//
+//sledlint:allow panicpath -- interposition-wiring consistency check, not a runtime fault
 func (r *Registry) Replace(id ID, d Device) Device {
 	if id < 0 || int(id) >= len(r.devices) {
 		panic(fmt.Sprintf("device: replacing unknown device ID %d", id))
@@ -228,6 +232,8 @@ func (r *Registry) Replace(id ID, d Device) Device {
 }
 
 // Get returns the device with the given ID.
+//
+//sledlint:allow panicpath -- unknown ID is a wiring bug; injected faults surface as FallibleDevice errors
 func (r *Registry) Get(id ID) Device {
 	if id < 0 || int(id) >= len(r.devices) {
 		panic(fmt.Sprintf("device: unknown device ID %d", id))
@@ -252,6 +258,12 @@ func (r *Registry) ResetAll() {
 	}
 }
 
+// checkExtent validates a request extent against the device geometry.
+// The VFS clamps file I/O to the mapped extent before it reaches a
+// device, so an out-of-range extent here is a kernel/layout bug —
+// distinct from injected faults, which flow through FallibleDevice.
+//
+//sledlint:allow panicpath -- extent violations are kernel bugs, never simulated fault outcomes
 func checkExtent(info Info, off, length int64) {
 	if off < 0 || length < 0 {
 		panic(fmt.Sprintf("device %q: negative extent (off=%d len=%d)", info.Name, off, length))

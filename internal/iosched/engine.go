@@ -108,6 +108,8 @@ func NewEngine(k *vfs.Kernel) *Engine {
 // registered under id. The wrapper satisfies device.Device, so the VFS and
 // the cache work unchanged; outside Run it passes accesses straight
 // through (boot-time calibration and setup I/O see the raw device).
+//
+//sledlint:allow panicpath -- setup-phase API misuse, before any simulated I/O runs
 func (e *Engine) Queue(id device.ID, sched Scheduler) {
 	if e.running {
 		panic("iosched: Queue called while running")
@@ -126,6 +128,8 @@ func (e *Engine) Queue(id device.ID, sched Scheduler) {
 // after the engine's base time. fn runs with the shared kernel; every
 // kernel call it makes is charged to the stream's own virtual clock.
 // Streams are resumed in (virtual time, StreamID) order.
+//
+//sledlint:allow panicpath -- setup-phase API misuse, before any simulated I/O runs
 func (e *Engine) AddStream(start simclock.Duration, fn func(h *Handle) error) StreamID {
 	if e.running {
 		panic("iosched: AddStream called while running")
@@ -157,6 +161,8 @@ func (h *Handle) Now() simclock.Duration { return h.e.streams[h.id].clock.Now() 
 // Sleep suspends the stream for d of virtual time. Other streams run
 // meanwhile; the engine wakes this one when the simulation reaches the
 // target instant.
+//
+//sledlint:allow panicpath -- negative duration is a caller bug, mirroring simclock.Advance
 func (h *Handle) Sleep(d simclock.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("iosched: negative sleep %v", d))
@@ -173,7 +179,7 @@ func (h *Handle) Sleep(d simclock.Duration) {
 // kernel is left usable for single-stream code again.
 func (e *Engine) Run() error {
 	if e.running {
-		panic("iosched: Run re-entered")
+		panic("iosched: Run re-entered") //sledlint:allow panicpath -- engine misuse, not a simulation outcome
 	}
 	if len(e.streams) == 0 {
 		return nil
@@ -198,7 +204,7 @@ func (e *Engine) Run() error {
 	for !e.allDone() {
 		ev, ok := e.nextEvent()
 		if !ok {
-			panic("iosched: no runnable event with streams outstanding")
+			panic("iosched: no runnable event with streams outstanding") //sledlint:allow panicpath -- scheduler-deadlock invariant; faults ride events as errors
 		}
 		switch ev.kind {
 		case evResume:
@@ -315,7 +321,7 @@ func (e *Engine) resumeStream(st *stream, t simclock.Duration) {
 	st.resume <- t
 	ev := <-e.events
 	if ev.stream != st.id {
-		panic("iosched: event from a stream that was not running")
+		panic("iosched: event from a stream that was not running") //sledlint:allow panicpath -- cooperative-handoff invariant of the engine
 	}
 	switch {
 	case ev.finished:
@@ -339,7 +345,7 @@ func (e *Engine) resumeStream(st *stream, t simclock.Duration) {
 func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
 	r := dq.sched.Pick(t, dq.lastPos)
 	if r == nil {
-		panic("iosched: dispatch with no eligible request")
+		panic("iosched: dispatch with no eligible request") //sledlint:allow panicpath -- Scheduler.Pick contract: a non-idle queue must yield a request
 	}
 	dq.clock.AdvanceTo(t)
 	if r.Write {
@@ -438,6 +444,8 @@ func (q *QueuedDevice) Info() device.Info { return q.dq.dev.Info() }
 // Read implements the infallible device path; like faults.Injector, it
 // panics if the underlying device faults, because an infallible caller
 // has no way to observe the error. Fault-aware code uses device.ReadErr.
+//
+//sledlint:allow panicpath -- documented infallible-wrapper contract; fallible callers use ReadErr
 func (q *QueuedDevice) Read(c *simclock.Clock, off, length int64) {
 	if err := q.ReadErr(c, off, length); err != nil {
 		panic(fmt.Sprintf("iosched: infallible Read on a faulted device: %v", err))
@@ -445,6 +453,8 @@ func (q *QueuedDevice) Read(c *simclock.Clock, off, length int64) {
 }
 
 // Write implements the infallible device path; see Read.
+//
+//sledlint:allow panicpath -- documented infallible-wrapper contract; fallible callers use WriteErr
 func (q *QueuedDevice) Write(c *simclock.Clock, off, length int64) {
 	if err := q.WriteErr(c, off, length); err != nil {
 		panic(fmt.Sprintf("iosched: infallible Write on a faulted device: %v", err))
@@ -473,6 +483,8 @@ func (q *QueuedDevice) Underlying() device.Device { return q.dq.dev }
 // Reset implements device.Device: the underlying device's mechanical
 // state and the queue position history are cleared. Resetting mid-run is
 // a programming error.
+//
+//sledlint:allow panicpath -- mid-run Reset is engine misuse, not a fault outcome
 func (q *QueuedDevice) Reset() {
 	if q.e.running {
 		panic("iosched: Reset while running")

@@ -225,6 +225,8 @@ func (s *Deadline) Pick(now simclock.Duration, pos int64) *Request {
 
 // NewScheduler builds a scheduler by policy name; it is the factory the
 // experiment sweeps select policies with.
+//
+//sledlint:allow panicpath -- policy names are validated at config parse; an unknown one here is a harness bug
 func NewScheduler(name string) Scheduler {
 	switch name {
 	case "fcfs":

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// Every sledlint rule honors the same comment-driven escape hatch:
+//
+//	//sledlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory; a directive without "-- <reason>" never
+// suppresses anything and is itself reported as a finding, so the
+// escape hatch cannot silently decay into a blanket mute.
+//
+// A directive covers:
+//   - its own source line (trailing comment on the offending line),
+//   - the line immediately below it (standalone comment above the
+//     offending statement), and
+//   - when it appears in a func declaration's doc comment, every line
+//     of that declaration — the form used for constructor-validation
+//     panics, where one documented reason covers several panic sites.
+
+// DirectivePrefix is the comment prefix shared by all analyzers.
+const DirectivePrefix = "//sledlint:allow"
+
+// lineSpan is an inclusive range of lines in one file.
+type lineSpan struct{ from, to int }
+
+// Suppressions indexes every well-formed //sledlint:allow directive in
+// a package, plus diagnostics for the malformed ones.
+type Suppressions struct {
+	// spans maps file name -> analyzer name -> covered line spans.
+	spans map[string]map[string][]lineSpan
+
+	// Malformed holds one diagnostic per syntactically invalid
+	// directive (missing "--", empty reason, no analyzer names).
+	// These are real findings: they are reported by the driver under
+	// the analyzer name "directive" and cannot be self-suppressed.
+	Malformed []Diagnostic
+}
+
+// CollectSuppressions scans the files' comments for directives.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{spans: make(map[string]map[string][]lineSpan)}
+	for _, f := range files {
+		// Map each doc-comment directive to the span of its decl.
+		funcDoc := make(map[*ast.Comment]lineSpan)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				span := lineSpan{
+					from: fset.Position(fd.Pos()).Line,
+					to:   fset.Position(fd.End()).Line,
+				}
+				for _, c := range fd.Doc.List {
+					funcDoc[c] = span
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				names, bad := parseDirective(c.Text)
+				if bad != "" {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Analyzer: "directive",
+						Pos:      c.Pos(),
+						Message:  bad,
+					})
+					continue
+				}
+				span, ok := funcDoc[c]
+				if !ok {
+					line := fset.Position(c.Pos()).Line
+					span = lineSpan{from: line, to: line + 1}
+				}
+				pos := fset.Position(c.Pos())
+				byAnalyzer := s.spans[pos.Filename]
+				if byAnalyzer == nil {
+					byAnalyzer = make(map[string][]lineSpan)
+					s.spans[pos.Filename] = byAnalyzer
+				}
+				for _, name := range names {
+					byAnalyzer[name] = append(byAnalyzer[name], span)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseDirective splits the text after the prefix into analyzer names
+// and validates the mandatory reason. It returns the names and, for a
+// malformed directive, a non-empty problem description.
+func parseDirective(text string) (names []string, problem string) {
+	rest := strings.TrimPrefix(text, DirectivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //sledlint:allowed — not our directive.
+		return nil, ""
+	}
+	namePart, reason, found := strings.Cut(rest, "--")
+	if !found {
+		return nil, "malformed " + DirectivePrefix + " directive: missing \"-- <reason>\""
+	}
+	if strings.TrimSpace(reason) == "" {
+		return nil, "malformed " + DirectivePrefix + " directive: empty reason after \"--\""
+	}
+	for _, name := range strings.Split(strings.TrimSpace(namePart), ",") {
+		name = strings.TrimSpace(name)
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "malformed " + DirectivePrefix + " directive: no analyzer names before \"--\""
+	}
+	return names, ""
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a directive.
+func (s *Suppressions) Suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, span := range s.spans[p.Filename][name] {
+		if span.from <= p.Line && p.Line <= span.to {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the diagnostics not covered by a directive. Malformed
+// directives are appended as findings of their own.
+func (s *Suppressions) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !s.Suppressed(fset, d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, s.Malformed...)
+}

@@ -1,0 +1,125 @@
+// Package driver runs a set of sledlint analyzers over go-list
+// package patterns and renders the findings — the multichecker core
+// behind cmd/sledlint, kept importable so tests can exercise exit
+// codes and the JSON encoding without building the binary.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sleds/internal/lint/analysis"
+	"sleds/internal/lint/load"
+)
+
+// Exit codes, mirroring the x/tools multichecker convention.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one diagnostic
+	ExitError    = 2 // load/typecheck/usage failure
+)
+
+// Options configures one run.
+type Options struct {
+	Dir  string // working directory for go list; "" = process cwd
+	JSON bool   // machine-readable output
+}
+
+// JSONDiagnostic is the wire form emitted by `sledlint -json`: one
+// object per finding, stable field names, sorted by file/line/col.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Run applies every analyzer to every package matching patterns,
+// filters findings through the shared //sledlint:allow suppression
+// pass, writes the report to w, and returns the exit code.
+func Run(analyzers []*analysis.Analyzer, patterns []string, w io.Writer, opts Options) int {
+	pkgs, fset, err := load.Packages(opts.Dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(w, "sledlint: %v\n", err)
+		return ExitError
+	}
+
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(w, "sledlint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				return ExitError
+			}
+		}
+		sup := analysis.CollectSuppressions(fset, pkg.Files)
+		all = append(all, sup.Filter(fset, diags)...)
+	}
+
+	base := opts.Dir
+	if base == "" {
+		base, _ = os.Getwd()
+	}
+	out := make([]JSONDiagnostic, 0, len(all))
+	for _, d := range all {
+		p := fset.Position(d.Pos)
+		file := p.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, JSONDiagnostic{
+			File:     file,
+			Line:     p.Line,
+			Col:      p.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	if opts.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return ExitError
+		}
+	} else {
+		for _, d := range out {
+			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+	}
+	if len(out) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}

@@ -1,0 +1,105 @@
+package driver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sleds/internal/lint/analysis"
+	"sleds/internal/lint/driver"
+	"sleds/internal/lint/rngsource"
+	"sleds/internal/lint/simtime"
+)
+
+// The driver's testdata packages are addressed by explicit relative
+// path (wildcards skip testdata, explicit arguments do not), so the
+// real sledlint loader and exit-code paths are exercised end to end.
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer, simtime.Analyzer},
+		[]string{"./testdata/src/clean"}, &out, driver.Options{})
+	if code != driver.ExitClean {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, driver.ExitClean, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run must print nothing, got %q", out.String())
+	}
+}
+
+func TestFindingsExitOneAndTextFormat(t *testing.T) {
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer, simtime.Analyzer},
+		[]string{"./testdata/src/dirty"}, &out, driver.Options{})
+	if code != driver.ExitFindings {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, driver.ExitFindings, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "dirty.go:10:") || !strings.Contains(text, "(rngsource)") {
+		t.Fatalf("missing rngsource text diagnostic:\n%s", text)
+	}
+	if !strings.Contains(text, "(simtime)") {
+		t.Fatalf("missing simtime text diagnostic:\n%s", text)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer, simtime.Analyzer},
+		[]string{"./testdata/src/dirty"}, &out, driver.Options{JSON: true})
+	if code != driver.ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, driver.ExitFindings)
+	}
+	var diags []driver.JSONDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(diags), out.String())
+	}
+	// Sorted by file/line: rand.Seed on line 10 precedes the simtime
+	// literal on line 11 and the rand.Int63 draw on line 12.
+	first, second := diags[0], diags[1]
+	if third := diags[2]; third.Analyzer != "rngsource" || third.Line != 12 {
+		t.Fatalf("diags[2] = %+v", third)
+	}
+	if first.Analyzer != "rngsource" || first.Line != 10 || !strings.HasSuffix(first.File, "dirty.go") {
+		t.Fatalf("diags[0] = %+v", first)
+	}
+	if second.Analyzer != "simtime" || second.Line != 11 {
+		t.Fatalf("diags[1] = %+v", second)
+	}
+	if strings.HasPrefix(first.File, "/") {
+		t.Fatalf("file should be repo-relative, got %q", first.File)
+	}
+	if first.Col == 0 || first.Message == "" {
+		t.Fatalf("incomplete diagnostic: %+v", first)
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./testdata/src/clean"}, &out, driver.Options{JSON: true})
+	if code != driver.ExitClean {
+		t.Fatalf("exit = %d, want %d", code, driver.ExitClean)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("clean -json run must emit [], got %q", out.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./does-not-exist"}, &out, driver.Options{})
+	if code != driver.ExitError {
+		t.Fatalf("exit = %d, want %d", code, driver.ExitError)
+	}
+}

@@ -1,0 +1,13 @@
+package dirty
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Two deliberate violations, one per analyzer the driver test runs.
+func Sample(d time.Duration) time.Duration {
+	rand.Seed(42)
+	wait := d + time.Duration(500)
+	return wait + time.Duration(rand.Int63())
+}

@@ -1,0 +1,66 @@
+package load
+
+import (
+	"go/types"
+	"os"
+	"testing"
+)
+
+// TestPackagesTypechecks loads real module packages through the
+// two-level importer: sleds/internal/core pulls in module-local deps
+// (vfs, device, simclock) and the stdlib through the source importer.
+func TestPackagesTypechecks(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modulePath, err := findModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modulePath != "sleds" {
+		t.Fatalf("module path = %q, want sleds", modulePath)
+	}
+	pkgs, fset, err := Packages(root, "./internal/core", "./internal/simclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete package", p.Path)
+		}
+	}
+	// Packages sorts by path: core first.
+	core := pkgs[0]
+	if core.Path != "sleds/internal/core" {
+		t.Fatalf("pkgs[0] = %s, want sleds/internal/core", core.Path)
+	}
+	obj := core.Types.Scope().Lookup("Query")
+	if obj == nil {
+		t.Fatal("core.Query not found in package scope")
+	}
+	if _, ok := obj.Type().(*types.Signature); !ok {
+		t.Fatalf("core.Query is %T, want function", obj.Type())
+	}
+	if fset == nil {
+		t.Fatal("nil fileset")
+	}
+}
+
+// TestDirSyntheticPath loads a directory under a caller-chosen import
+// path — the hook linttest uses to place testdata inside scoped trees.
+func TestDirSyntheticPath(t *testing.T) {
+	p, _, err := Dir("testdata/src/tiny", "sleds/internal/vfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "sleds/internal/vfs" {
+		t.Fatalf("path = %q", p.Path)
+	}
+	if p.Types.Scope().Lookup("Answer") == nil {
+		t.Fatal("Answer not found")
+	}
+}

@@ -1,0 +1,4 @@
+package tiny
+
+// Answer exists so the loader test can look it up.
+func Answer() int { return 42 }

@@ -1,0 +1,275 @@
+// Package mapiter flags map iteration whose order can leak into
+// output — the exact bug class the 1-vs-4-worker determinism diff
+// exists to catch, but at compile time instead of after a sweep.
+//
+// A `range` over a map is flagged when its body
+//
+//   - appends to a slice that is not subsequently sorted in the same
+//     enclosing block (the collect-then-sort idiom is recognized and
+//     allowed),
+//   - writes to an io.Writer, or
+//   - produces fmt output (Print/Fprint/Sprint and variants).
+//
+// Pure reductions — counting, summing, max-taking, building another
+// map — are order-insensitive and stay unflagged.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sleds/internal/lint/analysis"
+)
+
+// Analyzer implements the mapiter rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map ranges whose bodies feed slices (unsorted), io.Writers, or fmt output with iteration-order data",
+	Run:  run,
+}
+
+// ioWriter is a structural copy of io.Writer, so implementation can be
+// tested without requiring the checked package to import io.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	results := types.NewTuple(
+		types.NewVar(0, nil, "n", types.Typ[types.Int]),
+		types.NewVar(0, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	params := types.NewTuple(types.NewVar(0, nil, "p", byteSlice))
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(0, nil, "Write", sig),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// blocks records, for every statement, its enclosing block and
+		// index, so the collect-then-sort idiom can look *after* a loop.
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// Map each range statement to (enclosing block, index) when its
+	// direct parent is a block; used to scan the statements after it.
+	type blockPos struct {
+		block *ast.BlockStmt
+		index int
+	}
+	after := make(map[*ast.RangeStmt]blockPos)
+	ast.Inspect(f, func(n ast.Node) bool {
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range b.List {
+			if rng, ok := st.(*ast.RangeStmt); ok {
+				after[rng] = blockPos{b, i}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.Types[rng.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkBody(pass, rng, func() []ast.Stmt {
+			bp, ok := after[rng]
+			if !ok {
+				return nil
+			}
+			return bp.block.List[bp.index+1:]
+		})
+		return true
+	})
+}
+
+// checkBody scans one map-range body for order-leaking sinks.
+// followers lazily returns the statements after the loop in its
+// enclosing block, for the collect-then-sort exemption.
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt, followers func() []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isFmtOutput(pass, call):
+			pass.Reportf(rng.Pos(), "map iteration order feeds fmt output (%s); range over sorted keys", callName(call))
+		case isWriterWrite(pass, call):
+			pass.Reportf(rng.Pos(), "map iteration order feeds an io.Writer (%s); range over sorted keys", callName(call))
+		case isAppend(pass, call):
+			target := appendTarget(pass, call)
+			if target == nil {
+				pass.Reportf(rng.Pos(), "map iteration order is appended to a slice; sort it before use")
+				return true
+			}
+			if !sortedAfter(pass, target, followers()) {
+				pass.Reportf(rng.Pos(), "map iteration order is appended to %q without a sort after the loop; sort before consuming", target.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isFmtOutput reports calls to any fmt package function.
+func isFmtOutput(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "fmt"
+}
+
+// isWriterWrite reports method calls named Write/WriteString/WriteByte/
+// WriteRune whose receiver implements io.Writer.
+func isWriterWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	return types.Implements(recv, ioWriter) ||
+		types.Implements(types.NewPointer(recv), ioWriter)
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendTarget returns the object of append's first argument when it
+// is a plain identifier (`keys = append(keys, k)`).
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// sortedAfter reports whether any statement after the loop in its
+// enclosing block passes target to a sort/slices sorting function —
+// the collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, target types.Object, stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return true
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := unwrapIdent(arg); ok && pass.TypesInfo.Uses[id] == target {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall reports calls into package sort or package slices whose
+// name starts with "Sort" or is one of sort's typed helpers.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkgName.Imported().Path() {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// unwrapIdent strips unary & and parens from arg to find an identifier
+// (sort.Sort(byName(keys)) still counts via the conversion argument).
+func unwrapIdent(arg ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch e := arg.(type) {
+		case *ast.Ident:
+			return e, true
+		case *ast.ParenExpr:
+			arg = e.X
+		case *ast.UnaryExpr:
+			arg = e.X
+		case *ast.CallExpr:
+			if len(e.Args) == 1 {
+				arg = e.Args[0]
+			} else {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "call"
+}

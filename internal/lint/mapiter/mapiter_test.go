@@ -1,0 +1,15 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"sleds/internal/lint/linttest"
+	"sleds/internal/lint/mapiter"
+)
+
+// TestMapiter covers the acceptance case "an unsorted output-feeding
+// map range seeded into internal/experiments makes sledlint exit
+// non-zero" — the testdata package runs under that synthetic path.
+func TestMapiter(t *testing.T) {
+	linttest.Run(t, mapiter.Analyzer, "testdata/src/mapiter", "sleds/internal/experiments")
+}

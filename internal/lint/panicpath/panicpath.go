@@ -1,0 +1,72 @@
+// Package panicpath forbids panic on the device/fault path.
+//
+// PR 3 made injected faults first-class: devices return errors, the
+// kernel retries with virtual-time backoff, and a panic anywhere on
+// that path would turn a simulated fault into a harness crash. The
+// rule therefore covers exactly the packages a request traverses
+// between the VFS and the (possibly fault-wrapped, possibly queued)
+// device — see Packages.
+//
+// # Package allowlist rationale
+//
+// Constructor-argument panics that validate configuration are
+// legitimate Go style and are NOT in scope: internal/simclock,
+// internal/workload, and internal/stats panic only in constructors or
+// on caller contract violations, before any simulated I/O exists, so
+// they stay off the list deliberately. The boundary is exact and
+// test-enforced (TestPackagesExact): adding a package to the fault
+// path means adding it here, and the remaining panics inside covered
+// packages must each carry a //sledlint:allow panicpath directive
+// whose reason explains why the condition is a programming error
+// rather than a simulation outcome (e.g. the documented
+// infallible-wrapper panics in internal/faults).
+package panicpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sleds/internal/lint/analysis"
+)
+
+// Analyzer implements the panicpath rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicpath",
+	Doc:  "forbid panic in device/fault-path packages; faults must surface as errors (see //sledlint:allow for invariants)",
+	Run:  run,
+}
+
+// Packages is the exact set of import paths on the device/fault path.
+// Keep in sync with the allowlist rationale in the package doc; the
+// set is asserted by TestPackagesExact.
+var Packages = []string{
+	"sleds/internal/device",
+	"sleds/internal/vfs",
+	"sleds/internal/cache",
+	"sleds/internal/hsm",
+	"sleds/internal/iosched",
+	"sleds/internal/faults",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Within(pass.PkgPath, Packages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(), "panic on the device/fault path; return an error, or annotate the invariant with //sledlint:allow panicpath -- <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package panicpath_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sleds/internal/lint/analysis"
+	"sleds/internal/lint/linttest"
+	"sleds/internal/lint/panicpath"
+)
+
+func TestPanicpath(t *testing.T) {
+	linttest.Run(t, panicpath.Analyzer, "testdata/src/panicpath", "sleds/internal/iosched")
+}
+
+// TestConstructorPackagesExempt checks the other side of the boundary:
+// packages whose panics are constructor-argument validation are not in
+// scope, so identical code there produces no findings.
+func TestConstructorPackagesExempt(t *testing.T) {
+	for _, path := range []string{
+		"sleds/internal/simclock",
+		"sleds/internal/workload",
+		"sleds/internal/stats",
+	} {
+		diags := linttest.Run(t, panicpath.Analyzer, "testdata/src/panicpath_exempt", path)
+		if len(diags) != 0 {
+			t.Errorf("%s: constructor-validation package must be exempt, got %d diagnostics", path, len(diags))
+		}
+	}
+}
+
+// TestPackagesExact pins the allowlist: the rule covers exactly the
+// packages a request traverses between the VFS and the device, and the
+// constructor-validation packages stay off it. Changing the fault path
+// means updating this test together with the package doc rationale.
+func TestPackagesExact(t *testing.T) {
+	want := []string{
+		"sleds/internal/device",
+		"sleds/internal/vfs",
+		"sleds/internal/cache",
+		"sleds/internal/hsm",
+		"sleds/internal/iosched",
+		"sleds/internal/faults",
+	}
+	if !reflect.DeepEqual(panicpath.Packages, want) {
+		t.Fatalf("panicpath.Packages = %v, want %v", panicpath.Packages, want)
+	}
+	for _, exempt := range []string{
+		"sleds/internal/simclock",
+		"sleds/internal/workload",
+		"sleds/internal/stats",
+		"sleds/internal/experiments",
+		"sleds/internal/core",
+	} {
+		if analysis.Within(exempt, panicpath.Packages...) {
+			t.Errorf("%s must not be on the panicpath allowlist", exempt)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package fake
+
+import "errors"
+
+var errBad = errors.New("bad request")
+
+func bad(x int) error {
+	if x < 0 {
+		panic("negative offset") // want `panic on the device/fault path`
+	}
+	return errBad
+}
+
+// NewThing validates static configuration before any simulated I/O
+// exists; both panic sites share the one documented reason.
+//
+//sledlint:allow panicpath -- constructor validates config; unreachable once the machine is built
+func NewThing(n int) int {
+	if n <= 0 {
+		panic("non-positive size")
+	}
+	if n > 1<<40 {
+		panic("size overflows the device model")
+	}
+	return n
+}
+
+func suppressedSameLine(err error) {
+	if err != nil {
+		panic(err) //sledlint:allow panicpath -- infallible wrapper: caller skipped the fallible path
+	}
+}
+
+func missingReason(x int) {
+	//sledlint:allow panicpath // want `malformed`
+	panic(x) // want `panic on the device/fault path`
+}
+
+func emptyReason(x int) {
+	/* want `empty reason` */ //sledlint:allow panicpath --
+	panic(x)                  // want `panic on the device/fault path`
+}

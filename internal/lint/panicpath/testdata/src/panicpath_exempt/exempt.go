@@ -1,0 +1,11 @@
+package fake
+
+// Constructor-argument validation in exempt packages (simclock,
+// workload, stats): legitimate panics, no want comments — the test
+// asserts zero diagnostics under those import paths.
+func NewClock(step int) int {
+	if step <= 0 {
+		panic("non-positive step")
+	}
+	return step
+}

@@ -1,0 +1,106 @@
+// Package rngsource forbids the process-global math/rand source and
+// hardcoded RNG seeds.
+//
+// Reproducibility of every sweep rests on the runner's per-point seed
+// derivation (experiments.PointSeed): randomness must flow from a
+// *rand.Rand constructed with a derived seed, threaded explicitly
+// through parameters. The global source (rand.Intn and friends) is
+// shared mutable state whose draw order depends on goroutine
+// scheduling, and an inline literal seed pins a stream that can no
+// longer be varied by the harness. The rule applies to the whole
+// module, including cmd/ — a binary flag that reaches the global
+// source is as non-reproducible as a library that does.
+package rngsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sleds/internal/lint/analysis"
+)
+
+// Analyzer implements the rngsource rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc:  "forbid global math/rand functions and literal RNG seeds; derive *rand.Rand from the runner's seeds",
+	Run:  run,
+}
+
+// globalFuncs are the math/rand (and math/rand/v2) top-level functions
+// backed by the shared global source.
+var globalFuncs = map[string]bool{
+	"ExpFloat64": true, "Float32": true, "Float64": true,
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"Intn": true, "NormFloat64": true, "Perm": true, "Read": true,
+	"Seed": true, "Shuffle": true, "Uint32": true, "Uint64": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"N": true, "Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := randPkg(pass, sel)
+			if !ok {
+				return true
+			}
+			if globalFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "%s.%s draws from the process-global RNG; pass a *rand.Rand seeded from the runner's per-point derivation", pkgPath, sel.Sel.Name)
+			}
+			return true
+		})
+		// rand.New(rand.NewSource(<literal>)): a hardcoded seed.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if !isRandFunc(pass, call.Fun, "New") {
+				return true
+			}
+			src, ok := call.Args[0].(*ast.CallExpr)
+			if !ok || len(src.Args) != 1 || !isRandFunc(pass, src.Fun, "NewSource") {
+				return true
+			}
+			if lit, ok := src.Args[0].(*ast.BasicLit); ok {
+				pass.Reportf(call.Pos(), "rand.New(rand.NewSource(%s)) hardcodes the seed; derive it from the experiment's base seed", lit.Value)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// randPkg reports whether sel selects from math/rand or math/rand/v2,
+// returning the short package path used in messages.
+func randPkg(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	switch pkgName.Imported().Path() {
+	case "math/rand":
+		return "rand", true
+	case "math/rand/v2":
+		return "rand/v2", true
+	}
+	return "", false
+}
+
+func isRandFunc(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	_, ok = randPkg(pass, sel)
+	return ok
+}

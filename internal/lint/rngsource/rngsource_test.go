@@ -1,0 +1,12 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"sleds/internal/lint/linttest"
+	"sleds/internal/lint/rngsource"
+)
+
+func TestRngsource(t *testing.T) {
+	linttest.Run(t, rngsource.Analyzer, "testdata/src/rngsource", "sleds/internal/experiments")
+}

@@ -1,0 +1,14 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"sleds/internal/lint/linttest"
+	"sleds/internal/lint/simtime"
+)
+
+// TestSimtime includes simclock.Duration call sites: the alias
+// resolves to time.Duration, so one rule covers the clock API.
+func TestSimtime(t *testing.T) {
+	linttest.Run(t, simtime.Analyzer, "testdata/src/simtime", "sleds/internal/experiments")
+}

@@ -1,0 +1,54 @@
+package fake
+
+import (
+	"time"
+
+	"sleds/internal/simclock"
+)
+
+func take(d time.Duration) {}
+
+func takeSim(d simclock.Duration) {}
+
+func variadic(ds ...time.Duration) {}
+
+type policy struct {
+	Backoff time.Duration
+	Tries   int
+}
+
+func bad() {
+	take(5)                                 // want `raw integer 5 passed as time\.Duration \(argument 1 of take\)`
+	takeSim(1500)                           // want `raw integer 1500 passed as time\.Duration`
+	take(-5)                                // want `raw integer 5 passed as time\.Duration`
+	variadic(10, 20)                        // want `raw integer 10 passed as time\.Duration` `raw integer 20 passed as time\.Duration`
+	_ = time.Duration(250)                  // want `time\.Duration\(250\) converts a raw integer`
+	_ = policy{Backoff: 10000000, Tries: 3} // want `raw integer 10000000 assigned to time\.Duration field Backoff`
+}
+
+func ok() {
+	take(0) // zero is the same instant in every unit
+	take(5 * time.Millisecond)
+	takeSim(2 * simclock.Second)
+	variadic(time.Second, 2*time.Second)
+	_ = policy{Backoff: 10 * time.Millisecond, Tries: 3}
+	const warmup = 5 * simclock.Millisecond
+	takeSim(warmup)
+	clockArith := simclock.Duration(float64(simclock.Second) * 0.25)
+	take(clockArith)
+}
+
+func suppressed() {
+	//sledlint:allow simtime -- literal is a calibrated nanosecond table entry
+	take(1234)
+}
+
+func missingReason() {
+	//sledlint:allow simtime // want `malformed`
+	take(99) // want `raw integer 99 passed as time\.Duration`
+}
+
+func emptyReason() {
+	/* want `empty reason` */ //sledlint:allow simtime --
+	take(77)                  // want `raw integer 77 passed as time\.Duration`
+}

@@ -1,0 +1,42 @@
+package fake
+
+import "time"
+
+func bad(t0 time.Time) {
+	_ = time.Now()                 // want `time\.Now reads the host clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the host clock`
+	<-time.After(time.Second)      // want `time\.After reads the host clock`
+	_ = time.Since(t0)             // want `time\.Since reads the host clock`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the host clock`
+	_ = time.Until(t0)             // want `time\.Until reads the host clock`
+}
+
+func ok() time.Duration {
+	d := 5 * time.Millisecond
+	return d + time.Duration(float64(time.Second)*0.5)
+}
+
+func suppressedSameLine() {
+	_ = time.Now() //sledlint:allow wallclock -- boot banner only; host time never reaches stdout
+}
+
+func suppressedLineAbove() {
+	//sledlint:allow wallclock -- measuring the harness itself, not the simulation
+	_ = time.Now()
+}
+
+//sledlint:allow wallclock -- whole helper reports host time on stderr
+func suppressedFuncDoc() {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+}
+
+func missingReason() {
+	//sledlint:allow wallclock // want `malformed`
+	_ = time.Now() // want `time\.Now reads the host clock`
+}
+
+func emptyReason() {
+	/* want `empty reason` */ //sledlint:allow wallclock --
+	_ = time.Now()            // want `time\.Now reads the host clock`
+}

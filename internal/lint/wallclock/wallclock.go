@@ -1,0 +1,71 @@
+// Package wallclock forbids reading the host's wall clock from
+// simulated code.
+//
+// Every latency in this repro is virtual time advanced on a
+// simclock.Clock; a single time.Now or time.Sleep ties results to the
+// host machine and silently breaks the byte-identical 1-vs-4-worker
+// determinism contract. The rule covers the root package and
+// everything under sleds/internal. Packages under sleds/cmd are
+// exempt by scope: the benchmark binary reports host elapsed time on
+// stderr (stdout stays deterministic), which is exactly the use the
+// paper's harness needs.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sleds/internal/lint/analysis"
+)
+
+// Analyzer implements the wallclock rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time (time.Now, Sleep, timers) in simulated code; use simclock virtual time",
+	Run:  run,
+}
+
+// forbidden lists the time-package functions that observe or schedule
+// against the host clock. Conversion helpers (time.Duration arithmetic,
+// unit constants) remain allowed — simclock itself re-exports them.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// scope: simulated code. cmd/ binaries may report host time.
+var scoped = []string{"sleds", "sleds/internal"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Within(pass.PkgPath, scoped...) || analysis.Within(pass.PkgPath, "sleds/cmd") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if forbidden[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "time.%s reads the host clock; simulated code must advance simclock virtual time", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

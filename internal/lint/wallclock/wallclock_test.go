@@ -1,0 +1,24 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"sleds/internal/lint/linttest"
+	"sleds/internal/lint/wallclock"
+)
+
+// TestWallclock runs the analyzer over testdata under a synthetic
+// import path inside the simulated tree — the acceptance case "a
+// time.Now seeded into internal/vfs makes sledlint exit non-zero".
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/src/wallclock", "sleds/internal/vfs")
+}
+
+// TestCmdExempt checks the config boundary: the same violations under
+// sleds/cmd are out of scope (host-time reporting is allowed there).
+func TestCmdExempt(t *testing.T) {
+	diags := linttest.Run(t, wallclock.Analyzer, "testdata/src/wallclock_cmd", "sleds/cmd/sledsbench")
+	if len(diags) != 0 {
+		t.Fatalf("cmd/ packages must be exempt, got %d diagnostics", len(diags))
+	}
+}

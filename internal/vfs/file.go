@@ -277,7 +277,7 @@ func (f *File) ensureResident(page, remaining int64) ([]byte, error) {
 
 	data, ok := k.cache.Get(key)
 	if !ok {
-		panic("vfs: page vanished immediately after fault")
+		panic("vfs: page vanished immediately after fault") //sledlint:allow panicpath -- cache invariant: the fault path just inserted this page
 	}
 	return data, nil
 }
