@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build vet fmt staticcheck lint test race bench determinism faults-smoke ci
+.PHONY: build vet fmt staticcheck lint test race bench bench-smoke bench-json determinism faults-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,22 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
+# bench-smoke runs every microbenchmark for a single iteration so CI
+# catches benchmarks that panic or fail setup without paying for stable
+# timings.
+bench-smoke:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/core ./internal/cache
+
+# bench-json regenerates BENCH_5.json, the committed snapshot of the
+# query/cache microbenchmarks and the root figure benchmarks, as a JSON
+# map of benchmark name to ns/op, B/op, allocs/op and ReportMetric
+# figures. Timings vary by machine; the snapshot exists to pin the
+# alloc counts and record the measured speedups at authoring time.
+bench-json:
+	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache; \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson > BENCH_5.json
+	@echo "bench-json: wrote BENCH_5.json"
+
 # determinism regenerates the quick-scale evaluation serially and with a
 # 4-worker pool and fails on any stdout byte difference, guarding the
 # per-point seed derivation and the index-ordered reduce.
@@ -47,6 +63,8 @@ determinism:
 	$(GO) run ./cmd/sledsbench -scale quick -workers 4 > /tmp/sledsbench-w4.txt
 	diff /tmp/sledsbench-w1.txt /tmp/sledsbench-w4.txt
 	@echo "deterministic: quick-scale output is byte-identical at 1 and 4 workers"
+	diff experiments_quick_scale.txt /tmp/sledsbench-w1.txt
+	@echo "deterministic: quick-scale output matches the committed golden"
 	$(GO) run ./cmd/sledsbench -scale quick -exp econtend,eloadsled -workers 1 > /tmp/sledsbench-contend-w1.txt
 	$(GO) run ./cmd/sledsbench -scale quick -exp econtend,eloadsled -workers 4 > /tmp/sledsbench-contend-w4.txt
 	diff /tmp/sledsbench-contend-w1.txt /tmp/sledsbench-contend-w4.txt
@@ -64,4 +82,4 @@ faults-smoke: vet
 	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy > /dev/null
 	@echo "faults-smoke: efaults completed with heavy injection on every device"
 
-ci: build vet fmt staticcheck lint test race determinism faults-smoke
+ci: build vet fmt staticcheck lint test race bench-smoke determinism faults-smoke

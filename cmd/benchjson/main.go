@@ -1,0 +1,71 @@
+// Command benchjson converts `go test -bench` output read from stdin into
+// a JSON object mapping benchmark name to its measurements: ns/op,
+// B/op, allocs/op, and any custom b.ReportMetric figures (speedup-peak
+// and friends). The GOMAXPROCS suffix (-8, -16, ...) is stripped from
+// names so snapshots diff cleanly across machines; if stripping collides
+// (the same benchmark at several -cpu values), later lines win.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//
+// json.Marshal sorts object keys, so output is deterministic for a given
+// input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	results := map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  <iters>  <value> <unit> [<value> <unit> ...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count: some other Benchmark-prefixed line
+		}
+		m := results[name]
+		if m == nil {
+			m = map[string]float64{}
+			results[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			m[fields[i+1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

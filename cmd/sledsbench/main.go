@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -28,6 +30,50 @@ import (
 	"sleds/internal/experiments"
 	"sleds/internal/faults"
 )
+
+// startProfiles starts the host-side pprof collectors selected by the
+// -cpuprofile/-memprofile flags; the returned stop function (idempotent)
+// finishes them. Profiles measure the regeneration's own host CPU and
+// heap — wall-clock diagnostics, which cmd/ is allowed to touch — and all
+// notes go to stderr so stdout stays diffable.
+func startProfiles(cpu, mem string) func() {
+	cpuStarted := false
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuStarted = true
+		fmt.Fprintf(os.Stderr, "(host CPU profile -> %s)\n", cpu)
+	}
+	return func() {
+		if cpuStarted {
+			pprof.StopCPUProfile()
+			cpuStarted = false
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sledsbench: -memprofile: %v\n", err)
+				mem = ""
+				return
+			}
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sledsbench: -memprofile: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "(host heap profile -> %s)\n", mem)
+			}
+			f.Close()
+			mem = ""
+		}
+	}
+}
 
 // knownExps lists every selectable experiment id, plus the "all" and
 // "ablations" group selectors. Unknown ids are an error (exit 2), not a
@@ -50,6 +96,8 @@ func main() {
 	faultsProfile := flag.String("faults", "off", "deterministic fault-injection profile applied to every device of every machine: off | light | heavy")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
 	list := flag.Bool("list", false, "print the valid experiment ids, one per line, and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a host-side CPU profile of the regeneration to this file (pprof)")
+	memprofile := flag.String("memprofile", "", "write a host-side heap profile to this file at exit (pprof)")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +114,14 @@ func main() {
 		return
 	}
 
+	// exit flushes the profiles before terminating, so a failed run still
+	// yields usable diagnostics; os.Exit would skip them.
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	var cfg experiments.Config
 	switch *scale {
 	case "paper":
@@ -74,7 +130,7 @@ func main() {
 		cfg = experiments.QuickConfig()
 	default:
 		fmt.Fprintf(os.Stderr, "sledsbench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		exit(2)
 	}
 	if *runs > 0 {
 		cfg.Runs = *runs
@@ -83,7 +139,7 @@ func main() {
 	if _, ok := faults.ProfileConfig(*faultsProfile, 0); !ok {
 		fmt.Fprintf(os.Stderr, "sledsbench: unknown fault profile %q (valid: %s)\n",
 			*faultsProfile, strings.Join(faults.Profiles(), ", "))
-		os.Exit(2)
+		exit(2)
 	}
 	if *faultsProfile != "off" {
 		cfg.FaultProfile = *faultsProfile
@@ -104,13 +160,13 @@ func main() {
 			sort.Strings(valid)
 			fmt.Fprintf(os.Stderr, "sledsbench: unknown experiment id %q (valid: %s)\n",
 				id, strings.Join(valid, ", "))
-			os.Exit(2)
+			exit(2)
 		}
 		want[id] = true
 	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "sledsbench: no experiments selected")
-		os.Exit(2)
+		exit(2)
 	}
 	all := want["all"]
 	selected := func(id string) bool { return all || want[id] }
@@ -118,7 +174,7 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "sledsbench: creating %s: %v\n", *csvDir, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	writeCSV := func(f experiments.Figure) {
@@ -135,7 +191,7 @@ func main() {
 		path := filepath.Join(*csvDir, name+".csv")
 		if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "sledsbench: writing %s: %v\n", path, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -158,7 +214,7 @@ func main() {
 		out, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sledsbench: %s: %v\n", id, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println(out)
 		hostTime(id, start)
@@ -184,7 +240,7 @@ func main() {
 		f7, f8, err := experiments.Fig7And8(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sledsbench: f7/f8: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if selected("f7") {
 			writeCSV(f7)
@@ -211,7 +267,7 @@ func main() {
 		f11, f12, err := experiments.Fig11And12(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sledsbench: f11/f12: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if selected("f11") {
 			writeCSV(f11)
@@ -335,10 +391,11 @@ func main() {
 		f, err := fn(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sledsbench: %s: %v\n", abl.id, err)
-			os.Exit(1)
+			exit(1)
 		}
 		writeCSV(f)
 		fmt.Println(f.Render())
 		hostTime(abl.id, start)
 	}
+	stopProfiles()
 }

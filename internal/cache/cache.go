@@ -11,11 +11,20 @@
 // Replacement policies: strict LRU (the default, matching Linux 2.2's
 // approximation), CLOCK (second chance), and FIFO. The ablation benches
 // compare the SLEDs gain across them.
+//
+// Besides the (file, page) hash index, the cache maintains a per-file
+// residency index: each file's resident pages as a sorted vector of
+// maximally coalesced runs, plus a dirty-page count. The index is updated
+// incrementally on every insert, eviction and invalidation, so FSLEDS_GET
+// reads a file's residency in O(runs) (ResidentRuns) and the file-scoped
+// operations (FlushFile, InvalidateFile, ResidentPages) touch only that
+// file's frames instead of scanning the whole cache list.
 package cache
 
 import (
 	"container/list"
 	"fmt"
+	"sort"
 )
 
 // Policy selects the replacement algorithm.
@@ -49,12 +58,100 @@ type Key struct {
 	Page int64
 }
 
+// Run is a maximal range of consecutive resident pages of one file:
+// pages [Start, End). A file's residency is a sorted, disjoint vector of
+// runs — exactly the shape FSLEDS_GET consumes, one memory section per
+// run and one device section per gap.
+type Run struct {
+	Start int64 // first resident page
+	End   int64 // one past the last resident page
+}
+
+// Pages returns the number of pages in the run.
+func (r Run) Pages() int64 { return r.End - r.Start }
+
+// fileIdx is one file's residency index: resident pages as coalesced runs
+// plus a count of dirty pages, maintained incrementally so file-level
+// operations need not consult any other file's frames.
+type fileIdx struct {
+	runs  []Run
+	dirty int
+}
+
+// insert adds page p to the run vector, coalescing with neighbours. The
+// caller guarantees p is not already resident (the hash index is checked
+// first); a resident p is tolerated as a no-op for safety.
+func (fi *fileIdx) insert(p int64) {
+	runs := fi.runs
+	// First run ending at or after p: the only candidates that contain or
+	// touch p on the left.
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].End >= p })
+	if i < len(runs) && runs[i].Start <= p && p < runs[i].End {
+		return // already resident
+	}
+	left := i < len(runs) && runs[i].End == p
+	j := i
+	if left {
+		j = i + 1
+	}
+	right := j < len(runs) && runs[j].Start == p+1
+	switch {
+	case left && right:
+		runs[i].End = runs[j].End
+		fi.runs = append(runs[:j], runs[j+1:]...)
+	case left:
+		runs[i].End = p + 1
+	case right:
+		runs[j].Start = p
+	default:
+		runs = append(runs, Run{})
+		copy(runs[j+1:], runs[j:])
+		runs[j] = Run{Start: p, End: p + 1}
+		fi.runs = runs
+	}
+}
+
+// remove drops page p from the run vector, splitting a run if p is
+// interior. A non-resident p is a no-op.
+func (fi *fileIdx) remove(p int64) {
+	runs := fi.runs
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].End > p })
+	if i >= len(runs) || runs[i].Start > p {
+		return // not resident
+	}
+	r := runs[i]
+	switch {
+	case r.Start == p && r.End == p+1:
+		fi.runs = append(runs[:i], runs[i+1:]...)
+	case r.Start == p:
+		runs[i].Start = p + 1
+	case r.End == p+1:
+		runs[i].End = p
+	default:
+		runs[i].End = p
+		runs = append(runs, Run{})
+		copy(runs[i+2:], runs[i+1:])
+		runs[i+1] = Run{Start: p + 1, End: r.End}
+		fi.runs = runs
+	}
+}
+
+// pages returns the total resident page count.
+func (fi *fileIdx) pages() int64 {
+	var n int64
+	for _, r := range fi.runs {
+		n += r.Pages()
+	}
+	return n
+}
+
 // frame is one resident page.
 type frame struct {
 	key   Key
 	data  []byte
 	dirty bool
-	ref   bool // CLOCK reference bit
+	ref   bool   // CLOCK reference bit
+	stamp uint64 // recency stamp; mirrors list order (front = highest)
 }
 
 // EvictFn is called when a page leaves the cache. dirty reports whether
@@ -82,6 +179,16 @@ type Cache struct {
 	order *list.List
 	index map[Key]*list.Element
 
+	// files is the per-file residency index, kept in lockstep with index.
+	files map[uint64]*fileIdx
+	// tick stamps every move-to-front/insertion so that a file's frames
+	// can be replayed in list order (descending stamp) without scanning
+	// the list.
+	tick uint64
+
+	// scratch is reused by the file-scoped collect operations.
+	scratch []*list.Element
+
 	stats Stats
 }
 
@@ -98,6 +205,7 @@ func New(capacity int, policy Policy, onEvict EvictFn) *Cache {
 		onEvict:  onEvict,
 		order:    list.New(),
 		index:    make(map[Key]*list.Element, capacity),
+		files:    make(map[uint64]*fileIdx),
 	}
 }
 
@@ -116,6 +224,15 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the activity counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// touch moves e to the front and restamps it. Stamps mirror list order —
+// a frame moved or pushed to the front always carries the highest stamp —
+// so file-scoped operations can reconstruct list order by sorting.
+func (c *Cache) touch(e *list.Element) {
+	c.order.MoveToFront(e)
+	c.tick++
+	e.Value.(*frame).stamp = c.tick
+}
+
 // Get returns the page data if resident, updating recency state. The
 // returned slice aliases the cached frame; callers must not retain it
 // across evictions (the simulated kernel copies out immediately).
@@ -127,7 +244,7 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 	f := e.Value.(*frame)
 	switch c.policy {
 	case LRU:
-		c.order.MoveToFront(e)
+		c.touch(e)
 	case Clock:
 		f.ref = true
 	case FIFO:
@@ -150,6 +267,33 @@ func (c *Cache) Contains(k Key) bool {
 // pure residency probes don't inflate miss counts.
 func (c *Cache) RecordMiss() { c.stats.Misses++ }
 
+// fileOf returns the file's residency index, creating it if absent.
+func (c *Cache) fileOf(file uint64) *fileIdx {
+	fi := c.files[file]
+	if fi == nil {
+		fi = &fileIdx{}
+		c.files[file] = fi
+	}
+	return fi
+}
+
+// unindex removes the frame from the hash index and the residency index
+// (the caller owns removing it from the list).
+func (c *Cache) unindex(f *frame) {
+	delete(c.index, f.key)
+	fi := c.files[f.key.File]
+	if fi == nil {
+		return
+	}
+	fi.remove(f.key.Page)
+	if f.dirty {
+		fi.dirty--
+	}
+	if len(fi.runs) == 0 {
+		delete(c.files, f.key.File)
+	}
+}
+
 // Insert adds a page, evicting as needed. Inserting a key that is already
 // resident replaces its data and dirty bit (and refreshes recency). The
 // error (failure to find an eviction victim) is defensive — the bounded
@@ -159,10 +303,13 @@ func (c *Cache) Insert(k Key, data []byte, dirty bool) error {
 	if e, ok := c.index[k]; ok {
 		f := e.Value.(*frame)
 		f.data = data
-		f.dirty = f.dirty || dirty
+		if dirty && !f.dirty {
+			f.dirty = true
+			c.fileOf(k.File).dirty++
+		}
 		switch c.policy {
 		case LRU:
-			c.order.MoveToFront(e)
+			c.touch(e)
 		case Clock:
 			f.ref = true
 		}
@@ -173,8 +320,14 @@ func (c *Cache) Insert(k Key, data []byte, dirty bool) error {
 			return fmt.Errorf("cache: inserting file %d page %d: %w", k.File, k.Page, err)
 		}
 	}
-	e := c.order.PushFront(&frame{key: k, data: data, dirty: dirty})
+	c.tick++
+	e := c.order.PushFront(&frame{key: k, data: data, dirty: dirty, stamp: c.tick})
 	c.index[k] = e
+	fi := c.fileOf(k.File)
+	fi.insert(k.Page)
+	if dirty {
+		fi.dirty++
+	}
 	c.stats.Inserts++
 	return nil
 }
@@ -193,7 +346,7 @@ func (c *Cache) evictOne() error {
 			f := e.Value.(*frame)
 			if f.ref {
 				f.ref = false
-				c.order.MoveToFront(e)
+				c.touch(e)
 				continue
 			}
 			victim = e
@@ -211,7 +364,7 @@ func (c *Cache) evictOne() error {
 func (c *Cache) removeElement(e *list.Element) {
 	f := e.Value.(*frame)
 	c.order.Remove(e)
-	delete(c.index, f.key)
+	c.unindex(f)
 	c.stats.Evictions++
 	if f.dirty {
 		c.stats.DirtyEvictions++
@@ -228,7 +381,11 @@ func (c *Cache) MarkDirty(k Key) bool {
 	if !ok {
 		return false
 	}
-	e.Value.(*frame).dirty = true
+	f := e.Value.(*frame)
+	if !f.dirty {
+		f.dirty = true
+		c.fileOf(k.File).dirty++
+	}
 	return true
 }
 
@@ -242,28 +399,54 @@ func (c *Cache) Invalidate(k Key) {
 	f := e.Value.(*frame)
 	if !f.dirty {
 		c.order.Remove(e)
-		delete(c.index, k)
+		c.unindex(f)
 		return
 	}
 	c.removeElement(e)
 }
 
-// InvalidateFile drops every page of the given file (used when a simulated
-// file is deleted).
-func (c *Cache) InvalidateFile(file uint64) {
-	var drop []*list.Element
-	for e := c.order.Front(); e != nil; e = e.Next() {
-		if e.Value.(*frame).key.File == file {
-			drop = append(drop, e)
+// collectFile gathers the file's resident frames — just the dirty ones
+// when dirtyOnly is set — in recency order (front of list first), using
+// the residency index and the stamps instead of a whole-cache scan. The
+// result aliases c.scratch; callers consume it before the next collect.
+func (c *Cache) collectFile(file uint64, fi *fileIdx, dirtyOnly bool) []*list.Element {
+	els := c.scratch[:0]
+	for _, r := range fi.runs {
+		for p := r.Start; p < r.End; p++ {
+			e := c.index[Key{File: file, Page: p}]
+			if e == nil {
+				continue // defensive: runs and index are kept in lockstep
+			}
+			if dirtyOnly && !e.Value.(*frame).dirty {
+				continue
+			}
+			els = append(els, e)
 		}
 	}
-	for _, e := range drop {
+	// Descending stamp = list front-to-back: the exact order the historical
+	// whole-list scan visited these frames, which fixes the write-back and
+	// eviction order the simulated devices observe.
+	sort.Slice(els, func(i, j int) bool {
+		return els[i].Value.(*frame).stamp > els[j].Value.(*frame).stamp
+	})
+	c.scratch = els
+	return els
+}
+
+// InvalidateFile drops every page of the given file (used when a simulated
+// file is deleted), touching only that file's frames.
+func (c *Cache) InvalidateFile(file uint64) {
+	fi := c.files[file]
+	if fi == nil {
+		return
+	}
+	for _, e := range c.collectFile(file, fi, false) {
 		f := e.Value.(*frame)
 		if f.dirty {
 			c.removeElement(e)
 		} else {
 			c.order.Remove(e)
-			delete(c.index, f.key)
+			c.unindex(f)
 		}
 	}
 }
@@ -278,43 +461,82 @@ func (c *Cache) FlushDirty(write func(Key, []byte)) {
 				write(f.key, f.data)
 			}
 			f.dirty = false
+			if fi := c.files[f.key.File]; fi != nil {
+				fi.dirty--
+			}
 		}
 	}
 }
 
 // FlushFile invokes write for every dirty page of one file and marks them
-// clean (fsync(2) for the simulated world).
+// clean (fsync(2) for the simulated world). Only the file's own frames
+// are visited — a file with no dirty pages costs one map lookup.
 func (c *Cache) FlushFile(file uint64, write func(Key, []byte)) {
-	for e := c.order.Front(); e != nil; e = e.Next() {
+	fi := c.files[file]
+	if fi == nil || fi.dirty == 0 {
+		return
+	}
+	for _, e := range c.collectFile(file, fi, true) {
 		f := e.Value.(*frame)
-		if f.dirty && f.key.File == file {
-			if write != nil {
-				write(f.key, f.data)
-			}
-			f.dirty = false
+		if write != nil {
+			write(f.key, f.data)
 		}
+		f.dirty = false
+		fi.dirty--
 	}
 }
 
-// ResidentPages returns the keys of all resident pages of the given file,
-// unordered residency snapshot for SLED construction.
+// ResidentRuns returns the file's resident pages as a sorted vector of
+// maximally coalesced page runs, without touching recency state — the
+// O(runs) residency snapshot FSLEDS_GET iterates. The returned slice
+// aliases the index; callers must not modify it and should consume it
+// before the next cache mutation.
+func (c *Cache) ResidentRuns(file uint64) []Run {
+	fi := c.files[file]
+	if fi == nil {
+		return nil
+	}
+	return fi.runs
+}
+
+// DirtyPages reports how many of the file's resident pages are dirty.
+func (c *Cache) DirtyPages(file uint64) int {
+	fi := c.files[file]
+	if fi == nil {
+		return 0
+	}
+	return fi.dirty
+}
+
+// ResidentPages returns the keys of all resident pages of the given file
+// in ascending page order (a residency snapshot for SLED construction),
+// visiting only the file's own frames.
 func (c *Cache) ResidentPages(file uint64) []Key {
-	var out []Key
-	for e := c.order.Front(); e != nil; e = e.Next() {
-		f := e.Value.(*frame)
-		if f.key.File == file {
-			out = append(out, f.key)
+	fi := c.files[file]
+	if fi == nil {
+		return nil
+	}
+	out := make([]Key, 0, fi.pages())
+	for _, r := range fi.runs {
+		for p := r.Start; p < r.End; p++ {
+			out = append(out, Key{File: file, Page: p})
 		}
 	}
 	return out
+}
+
+// AppendRecencyTrace appends the resident keys, most to least recently
+// used, to dst and returns it — RecencyTrace without the per-call
+// allocation, for harnesses that snapshot the cache repeatedly.
+func (c *Cache) AppendRecencyTrace(dst []Key) []Key {
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		dst = append(dst, e.Value.(*frame).key)
+	}
+	return dst
 }
 
 // RecencyTrace returns the resident keys from most to least recently used;
 // the experiment harness uses it to render the paper's Figure 3 table.
 func (c *Cache) RecencyTrace() []Key {
-	out := make([]Key, 0, c.order.Len())
-	for e := c.order.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(*frame).key)
-	}
-	return out
+	return c.AppendRecencyTrace(make([]Key, 0, c.order.Len()))
 }

@@ -1,0 +1,322 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// checkResidencyIndex asserts the structural invariants of the per-file
+// residency index against the ground truth of the recency list: for every
+// file, the runs are sorted, disjoint, maximally coalesced, cover exactly
+// the resident pages the hash index holds, and the dirty counts match the
+// frames' dirty bits.
+func checkResidencyIndex(t *testing.T, c *Cache) {
+	t.Helper()
+	// Ground truth from the list (AppendRecencyTrace walks c.order).
+	resident := map[uint64]map[int64]bool{}
+	dirty := map[uint64]int{}
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*frame)
+		if resident[f.key.File] == nil {
+			resident[f.key.File] = map[int64]bool{}
+		}
+		resident[f.key.File][f.key.Page] = true
+		if f.dirty {
+			dirty[f.key.File]++
+		}
+	}
+	if len(c.files) > len(resident) {
+		t.Fatalf("residency index tracks %d files, list holds %d", len(c.files), len(resident))
+	}
+	for file, pages := range resident {
+		runs := c.ResidentRuns(file)
+		var covered int64
+		for i, r := range runs {
+			if r.Start >= r.End {
+				t.Fatalf("file %d run %d empty or inverted: %+v", file, i, r)
+			}
+			if i > 0 {
+				prev := runs[i-1]
+				if r.Start < prev.End {
+					t.Fatalf("file %d runs %d and %d overlap or unsorted: %+v %+v", file, i-1, i, prev, r)
+				}
+				if r.Start == prev.End {
+					t.Fatalf("file %d runs %d and %d not coalesced: %+v %+v", file, i-1, i, prev, r)
+				}
+			}
+			for p := r.Start; p < r.End; p++ {
+				if !pages[p] {
+					t.Fatalf("file %d run %+v claims non-resident page %d", file, r, p)
+				}
+				if !c.Contains(Key{File: file, Page: p}) {
+					t.Fatalf("file %d page %d in runs but not in hash index", file, p)
+				}
+			}
+			covered += r.Pages()
+		}
+		if covered != int64(len(pages)) {
+			t.Fatalf("file %d runs cover %d pages, list holds %d", file, covered, len(pages))
+		}
+		if got := c.DirtyPages(file); got != dirty[file] {
+			t.Fatalf("file %d DirtyPages = %d, frames say %d", file, got, dirty[file])
+		}
+	}
+	// No stale per-file entries for files with nothing resident.
+	for file := range c.files {
+		if len(resident[file]) == 0 {
+			t.Fatalf("residency index retains empty file %d", file)
+		}
+	}
+}
+
+// TestResidencyIndexProperty drives randomized operation sequences through
+// every policy and checks the index invariants after each operation, with
+// a model map validating FlushFile/InvalidateFile semantics.
+func TestResidencyIndexProperty(t *testing.T) {
+	for _, pol := range []Policy{LRU, Clock, FIFO} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				model := map[Key]bool{} // resident key -> dirty
+				c := New(12, pol, func(k Key, _ []byte, _ bool) { delete(model, k) })
+				for _, op := range ops {
+					file := uint64(op>>8) % 3
+					page := int64(op>>4) % 16
+					k := Key{File: file, Page: page}
+					switch op % 8 {
+					case 0, 1, 2:
+						dirty := op%2 == 0
+						if err := c.Insert(k, nil, dirty); err != nil {
+							t.Fatalf("Insert: %v", err)
+						}
+						model[k] = model[k] || dirty
+					case 3:
+						_, resident := model[k]
+						if _, ok := c.Get(k); ok != resident {
+							t.Fatalf("Get(%+v) hit=%v, model resident=%v", k, ok, resident)
+						}
+					case 4:
+						if c.MarkDirty(k) {
+							model[k] = true
+						}
+					case 5:
+						c.Invalidate(k)
+						delete(model, k)
+					case 6:
+						var flushed []Key
+						c.FlushFile(file, func(fk Key, _ []byte) { flushed = append(flushed, fk) })
+						for _, fk := range flushed {
+							if !model[fk] {
+								t.Fatalf("FlushFile wrote clean or non-resident page %+v", fk)
+							}
+							model[fk] = false
+						}
+						if c.DirtyPages(file) != 0 {
+							t.Fatalf("DirtyPages %d after FlushFile", c.DirtyPages(file))
+						}
+					case 7:
+						dirtyBefore := c.DirtyPages(file)
+						evicted := 0
+						for mk, md := range model {
+							if mk.File == file && md {
+								evicted++
+							}
+						}
+						if dirtyBefore != evicted {
+							t.Fatalf("DirtyPages(%d) = %d, model says %d", file, dirtyBefore, evicted)
+						}
+						c.InvalidateFile(file)
+						// Clean pages are dropped without onEvict (by
+						// design); purge them from the model by hand. Dirty
+						// ones were removed via the eviction callback.
+						for mk, md := range model {
+							if mk.File != file {
+								continue
+							}
+							if md {
+								t.Fatalf("InvalidateFile skipped onEvict for dirty %+v", mk)
+							}
+							delete(model, mk)
+						}
+						if c.ResidentRuns(file) != nil {
+							t.Fatalf("InvalidateFile left runs %v", c.ResidentRuns(file))
+						}
+					}
+					checkResidencyIndex(t, c)
+				}
+				// Cross-check full residency against the model.
+				for mk := range model {
+					if !c.Contains(mk) {
+						t.Fatalf("model has %+v resident, cache does not", mk)
+					}
+				}
+				if total := c.Len(); total != len(model) {
+					t.Fatalf("cache holds %d pages, model %d", total, len(model))
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFlushFileOrderMatchesRecency pins the write-back order FlushFile
+// must preserve: the file's dirty frames in recency order (front of list
+// first), exactly as the historical whole-list scan visited them. The
+// fimhisto/fimgbin experiments call Sync inside their measured windows,
+// so this order is visible in simulated device timings.
+func TestFlushFileOrderMatchesRecency(t *testing.T) {
+	for _, pol := range []Policy{LRU, Clock, FIFO} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			c := New(32, pol, nil)
+			// Interleave two files, dirty and clean, then touch some pages
+			// to shuffle recency under LRU/CLOCK.
+			for p := int64(0); p < 12; p++ {
+				c.Insert(Key{File: 1, Page: p}, nil, p%2 == 0)
+				c.Insert(Key{File: 2, Page: p}, nil, p%3 == 0)
+			}
+			for _, p := range []int64{7, 3, 11, 0} {
+				c.Get(Key{File: 1, Page: p})
+			}
+			c.MarkDirty(Key{File: 1, Page: 5})
+
+			dirtySet := map[int64]bool{}
+			c.FlushFile(1, func(k Key, _ []byte) { dirtySet[k.Page] = true })
+			// Re-dirty the same pages and flush again, comparing against the
+			// recency trace captured in between.
+			for p := range dirtySet {
+				c.MarkDirty(Key{File: 1, Page: p})
+			}
+			var want []Key
+			for _, k := range c.RecencyTrace() {
+				if k.File == 1 && dirtySet[k.Page] {
+					want = append(want, k)
+				}
+			}
+			var got []Key
+			c.FlushFile(1, func(k Key, _ []byte) { got = append(got, k) })
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("FlushFile order %v, recency order %v", got, want)
+			}
+		})
+	}
+}
+
+// TestInvalidateFileOrderMatchesRecency pins the eviction order for dirty
+// pages of a deleted file: onEvict fires in recency order, as the
+// whole-list scan produced.
+func TestInvalidateFileOrderMatchesRecency(t *testing.T) {
+	for _, pol := range []Policy{LRU, Clock, FIFO} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			var got []Key
+			c := New(32, pol, func(k Key, _ []byte, dirty bool) {
+				if dirty {
+					got = append(got, k)
+				}
+			})
+			for p := int64(0); p < 10; p++ {
+				c.Insert(Key{File: 1, Page: p}, nil, p%2 == 0)
+				c.Insert(Key{File: 2, Page: p}, nil, false)
+			}
+			for _, p := range []int64{8, 2, 6} {
+				c.Get(Key{File: 1, Page: p})
+			}
+			var want []Key
+			for _, k := range c.RecencyTrace() {
+				if k.File == 1 && k.Page%2 == 0 {
+					want = append(want, k)
+				}
+			}
+			c.InvalidateFile(1)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("InvalidateFile dirty-evict order %v, recency order %v", got, want)
+			}
+			if c.ResidentRuns(1) != nil {
+				t.Fatalf("file 1 still indexed: %v", c.ResidentRuns(1))
+			}
+			if len(c.ResidentRuns(2)) == 0 {
+				t.Fatal("file 2's residency lost by another file's invalidation")
+			}
+		})
+	}
+}
+
+// TestResidentRunsCoalescing exercises the splice cases of the run index
+// directly: grow left, grow right, bridge two runs, split by removal.
+func TestResidentRunsCoalescing(t *testing.T) {
+	c := New(64, LRU, nil)
+	ins := func(p int64) { c.Insert(Key{File: 1, Page: p}, nil, false) }
+	ins(4)
+	ins(6)
+	if got := fmt.Sprint(c.ResidentRuns(1)); got != "[{4 5} {6 7}]" {
+		t.Fatalf("two singletons: %s", got)
+	}
+	ins(5) // bridge
+	if got := fmt.Sprint(c.ResidentRuns(1)); got != "[{4 7}]" {
+		t.Fatalf("bridge: %s", got)
+	}
+	ins(3) // grow left edge
+	ins(7) // grow right edge
+	if got := fmt.Sprint(c.ResidentRuns(1)); got != "[{3 8}]" {
+		t.Fatalf("grown: %s", got)
+	}
+	c.Invalidate(Key{File: 1, Page: 5}) // split
+	if got := fmt.Sprint(c.ResidentRuns(1)); got != "[{3 5} {6 8}]" {
+		t.Fatalf("split: %s", got)
+	}
+	c.Invalidate(Key{File: 1, Page: 3}) // trim head
+	c.Invalidate(Key{File: 1, Page: 7}) // trim tail
+	if got := fmt.Sprint(c.ResidentRuns(1)); got != "[{4 5} {6 7}]" {
+		t.Fatalf("trimmed: %s", got)
+	}
+	c.Invalidate(Key{File: 1, Page: 4})
+	c.Invalidate(Key{File: 1, Page: 6})
+	if c.ResidentRuns(1) != nil {
+		t.Fatalf("emptied: %v", c.ResidentRuns(1))
+	}
+}
+
+// BenchmarkInvalidateFileSparse measures invalidating one small file while
+// many other files occupy the cache — the case the per-file index turns
+// from O(cache) into O(file).
+func BenchmarkInvalidateFileSparse(b *testing.B) {
+	const files, pagesPer = 256, 64
+	c := New(files*pagesPer, LRU, nil)
+	for f := uint64(0); f < files; f++ {
+		for p := int64(0); p < pagesPer; p++ {
+			c.Insert(Key{File: f, Page: p}, nil, false)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for p := int64(0); p < pagesPer; p++ {
+			c.Insert(Key{File: 0, Page: p}, nil, false)
+		}
+		b.StartTimer()
+		c.InvalidateFile(0)
+	}
+}
+
+// BenchmarkFlushFileNoop measures fsync of a clean file in a full cache:
+// with the per-file dirty count this is one map lookup.
+func BenchmarkFlushFileNoop(b *testing.B) {
+	const files, pagesPer = 256, 64
+	c := New(files*pagesPer, LRU, nil)
+	for f := uint64(0); f < files; f++ {
+		for p := int64(0); p < pagesPer; p++ {
+			c.Insert(Key{File: f, Page: p}, nil, false)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FlushFile(7, nil)
+	}
+}

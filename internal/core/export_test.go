@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"sleds/internal/vfs"
+)
+
+// queryRef is the reference FSLEDS_GET: the original per-page scan that
+// Query replaced with the O(runs) walk. It is kept test-only as the
+// ground truth the equivalence properties and benchmarks compare against;
+// every estimate (zone lookup, load folding, health penalty, confidence)
+// is computed per page in the exact order the historical implementation
+// used, so Query must reproduce its float results bit-for-bit.
+func queryRef(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
+	if n.IsDir() {
+		return nil, fmt.Errorf("core: %q is a directory", n.Name())
+	}
+	if !t.haveMem {
+		return nil, fmt.Errorf("core: sleds table has no memory entry (boot fill missing?)")
+	}
+	size := n.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	ps := int64(k.PageSize())
+	pages := (size + ps - 1) / ps
+	now := k.Clock.Now()
+
+	var out []SLED
+	for p := int64(0); p < pages; p++ {
+		var e Entry
+		conf := 1.0
+		if k.PageResident(n, p) {
+			e = t.mem
+		} else {
+			dev := k.DeviceForPage(n, p)
+			var ok bool
+			e, ok = t.deviceAt(dev, n.Extent()+p*ps)
+			if !ok {
+				return nil, fmt.Errorf("core: no sleds table entry for device %d (file %q)", dev, n.Name())
+			}
+			e = t.underLoad(dev, e, now)
+			if pen := t.HealthPenalty(dev, now); pen > 0 {
+				conf = confidence(e.Latency, pen)
+				e.Latency += pen
+			}
+		}
+		length := ps
+		if (p+1)*ps > size {
+			length = size - p*ps
+		}
+		cur := SLED{Offset: p * ps, Length: length, Latency: e.Latency, Bandwidth: e.Bandwidth, Confidence: conf}
+		if len(out) > 0 && out[len(out)-1].SameEstimates(cur) && out[len(out)-1].End() == cur.Offset {
+			out[len(out)-1].Length += cur.Length
+		} else {
+			out = append(out, cur)
+		}
+	}
+	return out, nil
+}

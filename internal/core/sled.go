@@ -363,12 +363,101 @@ func (t *Table) Devices() []device.ID {
 	return out
 }
 
-// Query is FSLEDS_GET: it scans every page of the file, classifies it as
-// resident (memory entry) or on-device (device entry, possibly
-// zone-dependent), and coalesces consecutive pages with equal estimates
-// into SLEDs. The scan probes residency without perturbing replacement
-// state.
+// querySample is one device's estimate state frozen at the query instant:
+// its table entry (or zone vector with a monotone cursor), its queueing
+// state, and its decayed health penalty. Sampling once per device per
+// query is exact because the reference per-page scan reads the same
+// values for every page — the load source is consulted at one virtual
+// instant, and HealthPenalty's lazy decay is idempotent at a fixed now.
+type querySample struct {
+	ok     bool
+	zones  []ZoneEntry // nil when the device has a single flat entry
+	zi     int         // zone cursor; offsets are queried in ascending order
+	single Entry
+	load   bool
+	depth  int
+	rem    simclock.Duration
+	pen    float64
+}
+
+// sampleDevice captures a device's estimate state at virtual time now.
+func (t *Table) sampleDevice(id device.ID, now simclock.Duration) querySample {
+	var s querySample
+	if zs, ok := t.zones[id]; ok {
+		s.zones, s.ok = zs, true
+	} else if e, ok := t.devs[id]; ok {
+		s.single, s.ok = e, true
+	}
+	if !s.ok {
+		return s
+	}
+	if t.load != nil {
+		s.load = true
+		s.depth = t.load.QueueDepth(id)
+		s.rem = t.load.InFlightRemaining(id, now)
+	}
+	s.pen = t.HealthPenalty(id, now)
+	return s
+}
+
+// entryAt returns the entry in effect at device byte off and the device
+// offset at which it stops applying (math.MaxInt64 for the last zone).
+// Offsets must be presented in non-decreasing order: the cursor only
+// advances, which is what makes the zoned walk O(runs + zones).
+func (s *querySample) entryAt(off int64) (Entry, int64) {
+	if s.zones == nil {
+		return s.single, math.MaxInt64
+	}
+	for s.zi+1 < len(s.zones) && s.zones[s.zi+1].FromByte <= off {
+		s.zi++
+	}
+	until := int64(math.MaxInt64)
+	if s.zi+1 < len(s.zones) {
+		until = s.zones[s.zi+1].FromByte
+	}
+	return s.zones[s.zi].Entry, until
+}
+
+// estimate folds the sampled queueing state and health penalty into a
+// base entry, in exactly the order the per-page scan applies them: load
+// first, then the fault penalty, with confidence graded against the
+// post-load latency.
+func (s *querySample) estimate(base Entry) (Entry, float64) {
+	e := base
+	if s.load && !(s.depth == 0 && s.rem == 0) {
+		e.Latency = e.Latency*float64(1+s.depth) + s.rem.Seconds()
+	}
+	conf := 1.0
+	if s.pen > 0 {
+		conf = confidence(e.Latency, s.pen)
+		e.Latency += s.pen
+	}
+	return e, conf
+}
+
+// Query is FSLEDS_GET: it reports the file's state as a SLED vector —
+// resident sections carry the memory entry, on-device sections the
+// backing device's entry (zone-dependent when zones are installed, with
+// queueing state and fault degradation folded in). Residency is probed
+// without perturbing replacement state.
+//
+// The walk iterates the cache's coalesced residency runs rather than
+// individual pages: each run maps to the memory entry in one step, each
+// gap is classified with a monotone cursor over the device's zones, and
+// per-device load/health state is sampled once per query, so the cost is
+// O(runs + zones) instead of O(pages). The resulting vector is provably
+// identical to the per-page scan's (see the equivalence tests against
+// queryRef).
 func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
+	return QueryAppend(nil, k, t, n)
+}
+
+// QueryAppend is Query appending into dst's storage (dst's length is
+// ignored): callers issuing many queries — the pick library's Refresh,
+// file-set ordering — reuse one scratch vector across calls instead of
+// allocating per query. The result is valid until the next QueryAppend
+// reusing the same scratch.
+func QueryAppend(dst []SLED, k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 	if n.IsDir() {
 		return nil, fmt.Errorf("core: %q is a directory", n.Name())
 	}
@@ -377,48 +466,126 @@ func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 	}
 	size := n.Size()
 	if size == 0 {
-		return nil, nil
+		return dst[:0], nil
 	}
 	ps := int64(k.PageSize())
 	pages := (size + ps - 1) / ps
+	extent := n.Extent()
 	// The scan is one consistent snapshot: queueing state is sampled once
 	// at the query instant, like the residency bits.
 	now := k.Clock.Now()
 
-	var out []SLED
-	for p := int64(0); p < pages; p++ {
-		var e Entry
-		conf := 1.0
-		if k.PageResident(n, p) {
-			e = t.mem
-		} else {
-			// DeviceForPage consults the HSM stager when one is
-			// interposed: a tape file's staged pages report the disk's
-			// estimates, unstaged ones the tape's.
-			dev := k.DeviceForPage(n, p)
-			var ok bool
-			e, ok = t.deviceAt(dev, n.Extent()+p*ps)
-			if !ok {
-				return nil, fmt.Errorf("core: no sleds table entry for device %d (file %q)", dev, n.Name())
-			}
-			e = t.underLoad(dev, e, now)
-			// Fold the device's degradation state into the estimate: the
-			// decayed fault penalty inflates the reported latency and
-			// grades down the SLED's confidence.
-			if pen := t.HealthPenalty(dev, now); pen > 0 {
-				conf = confidence(e.Latency, pen)
-				e.Latency += pen
-			}
+	runs := k.ResidentRuns(n)
+	staged := k.DeviceStaged(n.Device())
+
+	// Pre-size the output: at most one SLED per run, per gap, and per zone
+	// boundary falling inside a gap.
+	est := 2*len(runs) + 1
+	if zs, ok := t.zones[n.Device()]; ok {
+		est += len(zs) - 1
+	}
+	out := dst[:0]
+	if cap(out) < est {
+		out = make([]SLED, 0, est)
+	}
+
+	// emit appends pages [from, to) with the given estimates, coalescing
+	// with the previous SLED when contiguous and estimate-equal.
+	emit := func(from, to int64, e Entry, conf float64) {
+		offB := from * ps
+		endB := to * ps
+		if endB > size {
+			endB = size
 		}
-		length := ps
-		if (p+1)*ps > size {
-			length = size - p*ps
-		}
-		cur := SLED{Offset: p * ps, Length: length, Latency: e.Latency, Bandwidth: e.Bandwidth, Confidence: conf}
-		if len(out) > 0 && out[len(out)-1].SameEstimates(cur) && out[len(out)-1].End() == cur.Offset {
-			out[len(out)-1].Length += cur.Length
+		cur := SLED{Offset: offB, Length: endB - offB, Latency: e.Latency, Bandwidth: e.Bandwidth, Confidence: conf}
+		if last := len(out) - 1; last >= 0 && out[last].SameEstimates(cur) && out[last].End() == cur.Offset {
+			out[last].Length += cur.Length
 		} else {
 			out = append(out, cur)
+		}
+	}
+
+	// Device samples: the primary (inode) device for the common case, and
+	// a lazy per-device map when a stager may scatter pages across levels.
+	var primary querySample
+	havePrimary := false
+	var samples map[device.ID]*querySample
+
+	// gap classifies the uncached pages [from, to).
+	gap := func(from, to int64) error {
+		if staged {
+			// DeviceForPage consults the stager per page: a tape file's
+			// staged pages report the disk's estimates, unstaged ones the
+			// tape's. Each distinct device is still sampled only once.
+			if samples == nil {
+				samples = make(map[device.ID]*querySample, 2)
+			}
+			for p := from; p < to; p++ {
+				dev := k.DeviceForPage(n, p)
+				s := samples[dev]
+				if s == nil {
+					sv := t.sampleDevice(dev, now)
+					s = &sv
+					samples[dev] = s
+				}
+				if !s.ok {
+					return fmt.Errorf("core: no sleds table entry for device %d (file %q)", dev, n.Name())
+				}
+				base, _ := s.entryAt(extent + p*ps)
+				e, conf := s.estimate(base)
+				emit(p, p+1, e, conf)
+			}
+			return nil
+		}
+		if !havePrimary {
+			primary = t.sampleDevice(n.Device(), now)
+			havePrimary = true
+		}
+		if !primary.ok {
+			return fmt.Errorf("core: no sleds table entry for device %d (file %q)", n.Device(), n.Name())
+		}
+		for p := from; p < to; {
+			base, until := primary.entryAt(extent + p*ps)
+			segEnd := to
+			if until != math.MaxInt64 {
+				// First page whose start offset reaches the next zone.
+				if q := (until - extent + ps - 1) / ps; q < segEnd {
+					segEnd = q
+				}
+			}
+			if segEnd <= p {
+				segEnd = p + 1 // defensive: guarantee progress
+			}
+			e, conf := primary.estimate(base)
+			emit(p, segEnd, e, conf)
+			p = segEnd
+		}
+		return nil
+	}
+
+	cursor := int64(0)
+	for _, r := range runs {
+		start, end := r.Start, r.End
+		if start < cursor {
+			start = cursor
+		}
+		if end > pages {
+			end = pages
+		}
+		if start >= end {
+			continue
+		}
+		if cursor < start {
+			if err := gap(cursor, start); err != nil {
+				return nil, err
+			}
+		}
+		emit(start, end, t.mem, 1)
+		cursor = end
+	}
+	if cursor < pages {
+		if err := gap(cursor, pages); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

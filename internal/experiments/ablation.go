@@ -199,6 +199,7 @@ func AblationRefresh(cfg Config) (Figure, error) {
 		m.K.ResetRunStats()
 		start := m.K.Clock.Now()
 		buf := make([]byte, cfg.BufSize)
+		mid := make([]byte, third) // cooperating process's buffer, allocated outside the scan loop
 		cheapChunks := int(third / cfg.BufSize)
 		for i := 0; ; i++ {
 			if i == cheapChunks {
@@ -206,7 +207,6 @@ func AblationRefresh(cfg Config) (Figure, error) {
 				// cache; its own I/O time is excluded from the window.
 				before := m.K.Clock.Now()
 				g, _ := m.K.Open("/data/testfile")
-				mid := make([]byte, third)
 				g.ReadAt(mid, third)
 				g.Close()
 				start += m.K.Clock.Now() - before
@@ -358,10 +358,11 @@ func AblationZones(cfg Config) (Figure, error) {
 	}
 	defer f.Close()
 	m.K.ResetDeviceState()
+	// Stream in large requests, as the estimate's model assumes; the
+	// buffer is per-run scratch, not part of the measured closure.
+	const stream = int64(256 << 10)
+	buf := make([]byte, stream)
 	actual, err := elapsedSeconds(m, func() error {
-		// Stream in large requests, as the estimate's model assumes.
-		const stream = int64(256 << 10)
-		buf := make([]byte, stream)
 		for off := int64(0); off < size; off += stream {
 			nn := stream
 			if off+nn > size {

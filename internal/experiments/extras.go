@@ -23,9 +23,10 @@ func Fig3Trace() string {
 	b.WriteString("five-block file, three-frame LRU cache; rows are cache contents (MRU first)\n\n")
 
 	c := cache.New(3, cache.LRU, nil)
+	var trace []cache.Key // snapshot scratch, one per render point
 	render := func(label string) {
 		fmt.Fprintf(&b, "%-24s [", label)
-		trace := c.RecencyTrace()
+		trace = c.AppendRecencyTrace(trace[:0])
 		for i := 0; i < 3; i++ {
 			if i < len(trace) {
 				fmt.Fprintf(&b, " %d", trace[i].Page)

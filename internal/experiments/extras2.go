@@ -366,14 +366,15 @@ func EAccuracy(cfg Config) (Figure, error) {
 			return Point{}, err
 		}
 		m.K.ResetDeviceState()
+		// Page-in only: the estimate covers retrieval, not the
+		// user-space copy, so measure via the mapped read path,
+		// streaming in large requests as lmbench's bandwidth
+		// probe does (per-request overhead is not part of the
+		// estimate's model). The buffer is per-run scratch, not
+		// part of the measured closure.
+		const stream = int64(256 << 10)
+		buf := make([]byte, stream)
 		actual, err := elapsedSeconds(m, func() error {
-			// Page-in only: the estimate covers retrieval, not the
-			// user-space copy, so measure via the mapped read path,
-			// streaming in large requests as lmbench's bandwidth
-			// probe does (per-request overhead is not part of the
-			// estimate's model).
-			const stream = int64(256 << 10)
-			buf := make([]byte, stream)
 			for off := int64(0); off < size; off += stream {
 				nn := stream
 				if off+nn > size {

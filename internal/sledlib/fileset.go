@@ -30,16 +30,18 @@ func FileSetOrder(k *vfs.Kernel, tab *core.Table, paths []string, plan core.Plan
 		idx  int
 	}
 	entries := make([]entry, len(paths))
+	var scratch []core.SLED // one SLED vector reused across the whole set
 	for i, p := range paths {
 		entries[i] = entry{path: p, idx: i}
 		n, err := k.Stat(p)
 		if err != nil || n.IsDir() {
 			continue
 		}
-		sleds, err := core.Query(k, tab, n)
+		sleds, err := core.QueryAppend(scratch, k, tab, n)
 		if err != nil {
 			continue
 		}
+		scratch = sleds
 		entries[i].est = core.TotalDeliveryTime(sleds, plan)
 		entries[i].ok = true
 	}
@@ -82,10 +84,12 @@ func FileSetOrder(k *vfs.Kernel, tab *core.Table, paths []string, plan core.Plan
 // their latency estimates); PruneDegraded is for callers with a deadline,
 // the "find -latency" style of use.
 func PruneDegraded(k *vfs.Kernel, tab *core.Table, paths []string, minConfidence float64) (keep, degraded []string) {
+	var scratch []core.SLED // one SLED vector reused across the whole set
 	for _, p := range paths {
 		worst := 1.0
 		if n, err := k.Stat(p); err == nil && !n.IsDir() {
-			if sleds, err := core.Query(k, tab, n); err == nil {
+			if sleds, err := core.QueryAppend(scratch, k, tab, n); err == nil {
+				scratch = sleds
 				for _, s := range sleds {
 					if s.Confidence > 0 && s.Confidence < worst {
 						worst = s.Confidence

@@ -102,6 +102,11 @@ type Picker struct {
 	chunks   []chunk
 	next     int
 	finished bool
+
+	// scratch backs the SLED vectors Refresh re-queries; reusing it keeps
+	// periodic refreshes allocation-free (p.sleds, retained from PickInit
+	// for reporting, stays separately owned).
+	scratch []core.SLED
 }
 
 // PickInit retrieves the file's SLEDs from the kernel and builds the read
@@ -193,10 +198,11 @@ func (p *Picker) Refresh() error {
 	if p.finished || p.next >= len(p.chunks) {
 		return nil
 	}
-	sleds, err := core.Query(p.k, p.tab, p.file.Inode())
+	sleds, err := core.QueryAppend(p.scratch, p.k, p.tab, p.file.Inode())
 	if err != nil {
 		return err
 	}
+	p.scratch = sleds
 	remaining := p.chunks[p.next:]
 	for i := range remaining {
 		remaining[i].latency, remaining[i].confidence = estimateAt(sleds, remaining[i].off)

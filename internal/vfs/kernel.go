@@ -223,6 +223,22 @@ func (k *Kernel) PageSize() int { return k.cfg.PageSize }
 // SLED scan probes residency).
 func (k *Kernel) Cache() *cache.Cache { return k.cache }
 
+// ResidentRuns returns the inode's resident pages as sorted, maximally
+// coalesced page runs without perturbing replacement state — the O(runs)
+// counterpart of per-page PageResident, and what FSLEDS_GET iterates.
+// The returned slice aliases the cache's residency index; callers must
+// not modify it and should consume it before the next cache mutation.
+func (k *Kernel) ResidentRuns(n *Inode) []cache.Run {
+	return k.cache.ResidentRuns(uint64(n.ino))
+}
+
+// DeviceStaged reports whether reads from the device are interposed by a
+// stager (HSM or remote mount), i.e. whether DeviceForPage may differ
+// from the inode's own device for files living on it.
+func (k *Kernel) DeviceStaged(id device.ID) bool {
+	return k.stager != nil && k.stagedDevs[id]
+}
+
 // AttachDevice adds a device to the machine.
 func (k *Kernel) AttachDevice(d device.Device) device.ID {
 	return k.Devices.Attach(d)
