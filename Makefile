@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build vet fmt staticcheck lint test race bench bench-smoke bench-json determinism faults-smoke ci
+.PHONY: build vet fmt staticcheck lint test race bench bench-smoke bench-json bench-compare scale-smoke determinism faults-smoke ci
 
 build:
 	$(GO) build ./...
@@ -43,17 +43,39 @@ bench:
 # catches benchmarks that panic or fail setup without paying for stable
 # timings.
 bench-smoke:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/core ./internal/cache
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/core ./internal/cache ./internal/iosched
 
-# bench-json regenerates BENCH_5.json, the committed snapshot of the
-# query/cache microbenchmarks and the root figure benchmarks, as a JSON
-# map of benchmark name to ns/op, B/op, allocs/op and ReportMetric
+# bench-json regenerates BENCH_6.json, the committed snapshot of the
+# query/cache/iosched microbenchmarks and the root figure benchmarks, as
+# a JSON map of benchmark name to ns/op, B/op, allocs/op and ReportMetric
 # figures. Timings vary by machine; the snapshot exists to pin the
-# alloc counts and record the measured speedups at authoring time.
+# alloc counts (which bench-compare gates) and record the measured
+# speedups at authoring time. Run it on a bench-suite change and commit
+# the result. BENCH_5.json is the frozen PR-5 snapshot; leave it be.
 bench-json:
-	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache; \
-	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson > BENCH_5.json
-	@echo "bench-json: wrote BENCH_5.json"
+	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched; \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson > BENCH_6.json
+	@echo "bench-json: wrote BENCH_6.json"
+
+# bench-compare reruns the bench-json suite and gates it against the
+# committed BENCH_6.json snapshot: every benchmark in the snapshot must
+# still exist, and allocs/op may not grow more than 25%. Only alloc
+# counts are gated — they are deterministic for these workloads, while
+# ns/op on shared CI runners is noise.
+bench-compare:
+	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched; \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson -compare BENCH_6.json -tolerance 0.25
+
+# scale-smoke proves the event-heap engine at full width: the escale
+# experiment (up to 10,000 streams over 24 queued disks, fcfs and sstf)
+# must complete at quick scale and print byte-identical figures at 1 and
+# 4 workers. escale is deliberately outside "all", so this is the only
+# place it runs.
+scale-smoke:
+	$(GO) run ./cmd/sledsbench -scale quick -exp escale -workers 1 > /tmp/sledsbench-escale-w1.txt
+	$(GO) run ./cmd/sledsbench -scale quick -exp escale -workers 4 > /tmp/sledsbench-escale-w4.txt
+	diff /tmp/sledsbench-escale-w1.txt /tmp/sledsbench-escale-w4.txt
+	@echo "scale-smoke: 10,000-stream escale is byte-identical at 1 and 4 workers"
 
 # determinism regenerates the quick-scale evaluation serially and with a
 # 4-worker pool and fails on any stdout byte difference, guarding the
@@ -82,4 +104,4 @@ faults-smoke: vet
 	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy > /dev/null
 	@echo "faults-smoke: efaults completed with heavy injection on every device"
 
-ci: build vet fmt staticcheck lint test race bench-smoke determinism faults-smoke
+ci: build vet fmt staticcheck lint test race bench-smoke bench-compare scale-smoke determinism faults-smoke

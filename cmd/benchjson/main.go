@@ -11,20 +11,85 @@
 //
 // json.Marshal sorts object keys, so output is deterministic for a given
 // input.
+//
+// With -compare, benchjson instead gates the stdin run against a
+// committed snapshot and exits 1 on regression:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -compare BENCH_6.json
+//
+// Every benchmark present in the baseline must appear on stdin (a
+// vanished benchmark is a regression, not a pass), and each gated metric
+// may exceed its baseline by at most -tolerance (fractional; 0.25 allows
+// +25%). The default gate is allocs/op only: allocation counts are
+// deterministic for this codebase's deterministic workloads, while ns/op
+// on shared CI runners is noise. Benchmarks on stdin that the baseline
+// lacks are reported but never fail — they are new, and land in the
+// snapshot at the next regeneration.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 func main() {
+	compare := flag.String("compare", "", "baseline BENCH_*.json: gate stdin against it instead of emitting JSON")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional increase per gated metric in -compare mode")
+	metrics := flag.String("metrics", "allocs/op", "comma-separated metrics gated in -compare mode")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *compare == "" {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	raw, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var baseline map[string]map[string]float64
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *compare, err)
+		os.Exit(1)
+	}
+	gated := map[string]bool{}
+	for _, m := range strings.Split(*metrics, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			gated[m] = true
+		}
+	}
+	if compareBench(os.Stdout, baseline, results, gated, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark measurements from `go test -bench` output.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 	results := map[string]map[string]float64{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -54,18 +119,68 @@ func main() {
 			m[fields[i+1]] = v
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
-		os.Exit(1)
+	return results, sc.Err()
+}
+
+// compareBench reports every baseline benchmark's gated metrics against
+// the current run and returns true if anything regressed: a benchmark or
+// metric that vanished, or a gated metric above baseline*(1+tolerance).
+// A zero baseline tolerates nothing (no scale to apply a fraction to).
+func compareBench(w io.Writer, baseline, current map[string]map[string]float64, gated map[string]bool, tolerance float64) bool {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
 	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+	sort.Strings(names)
+	regressed := false
+	fail := func(format string, args ...any) {
+		regressed = true
+		fmt.Fprintf(w, "REGRESSION: "+format+"\n", args...)
 	}
-	out, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			fail("%s: present in baseline, missing from this run", name)
+			continue
+		}
+		baseMetrics := make([]string, 0, len(baseline[name]))
+		for metric := range baseline[name] {
+			baseMetrics = append(baseMetrics, metric)
+		}
+		sort.Strings(baseMetrics)
+		for _, metric := range baseMetrics {
+			if !gated[metric] {
+				continue
+			}
+			base := baseline[name][metric]
+			got, ok := cur[metric]
+			if !ok {
+				fail("%s: metric %s present in baseline, missing from this run", name, metric)
+				continue
+			}
+			limit := base * (1 + tolerance)
+			if got > limit {
+				fail("%s: %s %.6g exceeds baseline %.6g by more than %.0f%%",
+					name, metric, got, base, tolerance*100)
+				continue
+			}
+			fmt.Fprintf(w, "ok: %s %s %.6g (baseline %.6g, limit %.6g)\n", name, metric, got, base, limit)
+		}
 	}
-	fmt.Println(string(out))
+	curNames := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			curNames = append(curNames, name)
+		}
+	}
+	sort.Strings(curNames)
+	for _, name := range curNames {
+		fmt.Fprintf(w, "new: %s not in baseline (regenerate the snapshot to gate it)\n", name)
+	}
+	if regressed {
+		fmt.Fprintln(w, "bench-compare: FAIL")
+	} else {
+		fmt.Fprintln(w, "bench-compare: ok")
+	}
+	return regressed
 }

@@ -83,14 +83,14 @@ var knownExps = []string{
 	"t2", "t3", "t4", "f3",
 	"f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f15x16",
 	"efind", "egmc", "ehsm", "eremote", "ehints", "etreegrep", "eaccuracy",
-	"econtend", "eloadsled", "efaults",
+	"econtend", "eloadsled", "efaults", "escale",
 	"ablation-policy", "ablation-pickorder", "ablation-refresh",
 	"ablation-readahead", "ablation-mmap", "ablation-zones",
 }
 
 func main() {
 	scale := flag.String("scale", "paper", "configuration scale: paper | quick")
-	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,econtend,eloadsled,efaults,ablations")
+	exps := flag.String("exp", "all", "comma-separated experiment ids: t2,t3,t4,f3,f7,f8,f9,f10,f11,f12,f13,f14,f15,f15x16,efind,egmc,ehsm,eremote,ehints,etreegrep,eaccuracy,econtend,eloadsled,efaults,escale,ablations")
 	runs := flag.Int("runs", 0, "override measured runs per point (0 = configuration default)")
 	workers := flag.Int("workers", 0, "experiment points run in parallel (0 = GOMAXPROCS); output is identical at any value")
 	faultsProfile := flag.String("faults", "off", "deterministic fault-injection profile applied to every device of every machine: off | light | heavy")
@@ -372,6 +372,20 @@ func main() {
 		writeCSV(r.Figure)
 		return r.Render(), nil
 	})
+	// escale measures the engine rather than the paper's claims, so it is
+	// deliberately not part of "all" (the committed golden outputs never
+	// include it); select it explicitly, as CI's scale-smoke target does.
+	if want["escale"] {
+		start := time.Now()
+		f, err := experiments.EScale(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: escale: %v\n", err)
+			exit(1)
+		}
+		writeCSV(f)
+		fmt.Println(f.Render())
+		hostTime("escale", start)
+	}
 	for _, abl := range []struct {
 		id string
 		fn func(experiments.Config) (experiments.Figure, error)

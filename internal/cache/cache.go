@@ -332,6 +332,13 @@ func (c *Cache) Insert(k Key, data []byte, dirty bool) error {
 	return nil
 }
 
+// EvictOne removes one page according to the policy, invoking onEvict.
+// Callers that must act between an eviction and a subsequent insertion
+// (the kernel defers evicted dirty pages' write-backs so the multi-stream
+// engine can suspend mid-write) evict explicitly with this before
+// inserting; Insert still evicts on its own when room is short.
+func (c *Cache) EvictOne() error { return c.evictOne() }
+
 // evictOne removes one page according to the policy.
 func (c *Cache) evictOne() error {
 	var victim *list.Element

@@ -76,7 +76,7 @@ func contentionPoint(pcfg, baseCfg Config, nIdx, n int, sched string, useSLEDs b
 	env := m.Env(useSLEDs, pcfg.BufSize)
 	for _, path := range paths {
 		path := path
-		e.AddStream(0, func(h *iosched.Handle) error {
+		e.AddStreamFunc(0, func(h *iosched.Handle) error {
 			// needleBase never occurs and nothing is planted: the grep
 			// scans the whole file, matching nothing.
 			_, err := grepapp.Run(env, path, needleBase, grepapp.Options{})
@@ -181,13 +181,13 @@ func ELoadSLED(cfg Config) (Figure, error) {
 		env := m.Env(false, pcfg.BufSize)
 		for _, path := range bgPaths {
 			path := path
-			e.AddStream(0, func(h *iosched.Handle) error {
+			e.AddStreamFunc(0, func(h *iosched.Handle) error {
 				_, err := grepapp.Run(env, path, needleBase, grepapp.Options{})
 				return err
 			})
 		}
 		var pt loadPoint
-		e.AddStream(0, func(h *iosched.Handle) error {
+		e.AddStreamFunc(0, func(h *iosched.Handle) error {
 			// Let the background streams saturate the queue, then ask.
 			h.Sleep(20 * simclock.Millisecond)
 			sleds, err := core.Query(m.K, m.Table, target)

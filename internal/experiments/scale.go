@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sleds/internal/device"
+	"sleds/internal/iosched"
+	"sleds/internal/simclock"
+	"sleds/internal/vfs"
+	"sleds/internal/workload"
+)
+
+// The scale experiment stress-tests the flat event-heap engine: up to
+// 10,000 Program streams reading files spread across two dozen queued
+// disks. It is not part of the committed golden outputs (it measures the
+// engine, not the paper's claims) and runs only when selected explicitly;
+// CI's scale-smoke target uses it to prove 10,000-stream runs complete
+// and stay byte-identical at any worker count.
+
+// scaleStreams is the stream-count sweep of the scale grid.
+var scaleStreams = []int{100, 1000, 10000}
+
+// scaleSchedulers lists the policies the scale grid drives. Deadline adds
+// nothing here that sstf does not already stress (the same indexes back
+// both).
+var scaleSchedulers = []string{"fcfs", "sstf"}
+
+// scaleDisks is the number of queued disks the streams spread across.
+const scaleDisks = 24
+
+// scaleFilePages is each stream's file length in pages: small enough that
+// 10,000 files boot quickly, large enough that every stream suspends many
+// times.
+const scaleFilePages = 16
+
+// scalePoint runs one (stream count, scheduler) point: n Program streams,
+// each reading its own file front to back in page-sized chunks, files
+// assigned round-robin across the disks. Returns virtual seconds to the
+// last finish and the engine events processed — both pure virtual-time
+// quantities, so the rendered figure is byte-identical at any -workers.
+func scalePoint(cfg Config, n int, sched string) (sec float64, events float64, err error) {
+	mem := device.NewMem(device.Table2MemConfig(0))
+	k := vfs.NewKernel(vfs.Config{
+		PageSize:       cfg.PageSize,
+		CachePages:     cfg.CachePages,
+		Policy:         cfg.Policy,
+		ReadaheadPages: cfg.ReadaheadPages,
+		MemDevice:      mem,
+		JitterSeed:     cfg.Seed,
+		JitterFrac:     cfg.JitterFrac,
+	})
+	k.AttachDevice(mem)
+	disks := make([]device.ID, scaleDisks)
+	for d := range disks {
+		disks[d] = k.AttachDevice(device.NewDisk(device.Table2DiskConfig(device.ID(d + 1))))
+	}
+	if err := k.MkdirAll("/data"); err != nil {
+		return 0, 0, err
+	}
+	ps := int64(cfg.PageSize)
+	size := scaleFilePages * ps
+	// One shared content object: every stream greps byte-identical text,
+	// so booting 10,000 files costs one generator, not 10,000.
+	content := workload.NewText(fileSeed(cfg, "escale", n), size, cfg.PageSize)
+	paths := make([]string, n)
+	for i := 0; i < n; i++ {
+		paths[i] = fmt.Sprintf("/data/s%d", i)
+		if _, err := k.Create(paths[i], disks[i%scaleDisks], content); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	e := iosched.NewEngine(k)
+	for _, id := range disks {
+		e.Queue(id, iosched.NewScheduler(sched))
+	}
+	for i, path := range paths {
+		// Staggered starts desynchronize the streams so the queues see a
+		// steady arrival mix instead of n simultaneous bursts.
+		start := simclock.Duration(i%97) * 50 * simclock.Microsecond
+		e.AddStream(start, scaleReadProg(k, path, cfg.PageSize))
+	}
+	if err := e.Run(); err != nil {
+		return 0, 0, err
+	}
+	var last simclock.Duration
+	for i := 0; i < n; i++ {
+		if f := e.FinishTime(iosched.StreamID(i)); f > last {
+			last = f
+		}
+	}
+	return float64(last-e.Base()) / float64(simclock.Second), float64(e.Events()), nil
+}
+
+// scaleReadProg is a stream state machine that reads path front to back
+// in chunkSize reads: the Program-stream analogue of the blocking readers
+// the contention experiments run.
+func scaleReadProg(k *vfs.Kernel, path string, chunkSize int) iosched.Program {
+	var f *vfs.File
+	var buf []byte
+	return iosched.ProgramFunc(func(h *iosched.Handle, prev iosched.Result) iosched.Op {
+		if f == nil {
+			var err error
+			f, err = k.Open(path)
+			if err != nil {
+				return iosched.Exit(err)
+			}
+			buf = make([]byte, chunkSize)
+			return iosched.Read(f, buf)
+		}
+		if prev.Err == io.EOF {
+			f.Close()
+			return iosched.Exit(nil)
+		}
+		if prev.Err != nil {
+			f.Close()
+			return iosched.Exit(prev.Err)
+		}
+		return iosched.Read(f, buf)
+	})
+}
+
+// EScale regenerates the engine scale sweep: completion time and engine
+// event counts for 100 to 10,000 concurrent streams over 24 queued disks.
+func EScale(cfg Config) (Figure, error) {
+	cfg.validate()
+	nScheds := len(scaleSchedulers)
+	series := make([]Series, 2*nScheds)
+	for si, sched := range scaleSchedulers {
+		series[si] = Series{Name: sched + " seconds"}
+		series[nScheds+si] = Series{Name: sched + " events (k)"}
+	}
+	cols := nScheds
+	type result struct{ sec, events float64 }
+	results, err := RunGrid(cfg, len(scaleStreams)*cols, func(i int) (result, error) {
+		nIdx, si := i/cols, i%cols
+		pcfg := cfg.forPoint("escale", nIdx, si)
+		sec, events, err := scalePoint(pcfg, scaleStreams[nIdx], scaleSchedulers[si])
+		return result{sec, events}, err
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, r := range results {
+		si := i % cols
+		n := float64(scaleStreams[i/cols])
+		series[si].Points = append(series[si].Points, Point{X: n, Mean: r.sec})
+		series[nScheds+si].Points = append(series[nScheds+si].Points, Point{X: n, Mean: r.events / 1000})
+	}
+	return Figure{
+		ID:     "escale",
+		Title:  "engine scale: n streams over 24 queued disks",
+		XLabel: "streams",
+		YLabel: "seconds to last finish (events: thousands)",
+		Series: series,
+		Notes:  "Program streams on the flat event heap: one continuation per stream, no goroutine stacks; byte-identical at any -workers",
+	}, nil
+}

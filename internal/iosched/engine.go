@@ -13,12 +13,23 @@
 //
 // The engine is a discrete-event simulator: exactly one stream executes at
 // a time, and the engine always processes the lowest-timestamped pending
-// event. Events at equal virtual time are ordered resume-before-dispatch,
-// then by stream ID (resumes) or device ID (dispatches). Stream code runs
-// on goroutines only so that it can block inside deep call stacks (a grep
-// inside the VFS inside a device read); the engine hands control to one
-// goroutine and waits for it to block or finish before touching any state,
-// so execution is sequential, race-free, and byte-identical on every run
+// event from a global event heap. Events at equal virtual time are ordered
+// resume-before-dispatch, then by stream ID (resumes) or device ID
+// (dispatches). Native streams are explicit state machines (Program), not
+// goroutines: a stream that issues I/O against a queued device suspends as
+// a continuation (vfs.IOStep) holding the in-progress kernel operation,
+// and the engine resumes it with the dispatch outcome when the device
+// completes the request. Program execution is single-threaded by
+// construction, and the per-stream cost is one heap entry plus one
+// continuation instead of a parked goroutine stack, which is what makes
+// 10,000-stream runs practical.
+//
+// Blocking stream code that predates the Program model (application code
+// shared with the single-process paths) rides the same heap through
+// AddStreamFunc: each such stream runs on a private goroutine with a
+// strict cooperative handoff — the engine hands control to one goroutine
+// and waits for it to block or finish before touching any state. Either
+// way execution is sequential, race-free, and byte-identical on every run
 // at any GOMAXPROCS.
 package iosched
 
@@ -43,28 +54,38 @@ const (
 	stateDone
 )
 
-// event is what a running stream reports back to the engine when it stops
-// executing: it submitted a request, went to sleep, or finished.
-type event struct {
+// stream is the engine-side record of one simulated process: its program,
+// its clock, and — while blocked — the suspended kernel operation and the
+// request whose completion resumes it. Exactly one of prog and fn is set:
+// prog streams are state machines driven by the engine's op loop, fn
+// streams are blocking closures on a private goroutine bridged through
+// resume (engine → stream: granted virtual time) and Engine.bridge
+// (stream → engine: what it blocked on).
+type stream struct {
+	id     StreamID
+	clock  *simclock.Clock
+	start  simclock.Duration // virtual start offset from the engine base
+	prog   Program
+	fn     func(h *Handle) error
+	resume chan simclock.Duration // engine -> stream, fn streams only
+	state  streamState
+	wakeAt simclock.Duration // next resume time while unstarted/sleeping
+	cont   vfs.IOStep        // the suspended operation, valid when blocked
+	req    *Request          // the queued/in-flight request, valid when blocked
+	res    Result            // outcome fed to the next Step call
+	finish simclock.Duration // clock at completion, valid when done
+	err    error
+}
+
+// bridgeEvent is what a running fn stream reports back to the engine when
+// it stops executing: it submitted a request, went to sleep, or finished.
+type bridgeEvent struct {
 	stream   StreamID
 	req      *Request          // non-nil: submitted and blocked
 	wake     simclock.Duration // valid when sleeping
 	sleeping bool
 	finished bool
 	err      error
-}
-
-// stream is the engine-side record of one simulated process.
-type stream struct {
-	id     StreamID
-	clock  *simclock.Clock
-	start  simclock.Duration // virtual start offset from the engine base
-	fn     func(h *Handle) error
-	resume chan simclock.Duration // engine -> stream: granted virtual time
-	state  streamState
-	wakeAt simclock.Duration // next resume time while unstarted/sleeping
-	finish simclock.Duration // clock at completion, valid when done
-	err    error
 }
 
 // devQueue is the engine-side state of one queued device.
@@ -78,7 +99,9 @@ type devQueue struct {
 	busy         bool
 	inflight     *Request
 	inflightDone simclock.Duration
-	lastPos      int64 // offset one past the last serviced request
+	lastPos      int64             // offset one past the last serviced request
+	dispatchUp   bool              // a dispatch event for this device is live on the heap
+	dispatchAt   simclock.Duration // the live dispatch event's time, valid when dispatchUp
 }
 
 // Engine coordinates streams and device queues over one shared kernel.
@@ -87,20 +110,23 @@ type Engine struct {
 	queues  map[device.ID]*devQueue
 	order   []device.ID // queued devices in wrap order, for deterministic iteration
 	streams []*stream
-	events  chan event
+	heap    eventHeap
+	bridge  chan bridgeEvent // fn stream -> engine
 	seq     uint64
 	running bool
 	current StreamID
 	base    simclock.Duration
+	pending *Request // handoff from QueuedDevice.submit to the op loop
+	events  uint64   // events processed across all Runs, for benchmarks
 }
 
 // NewEngine returns an engine over the kernel's devices. Wrap devices with
-// Queue, add streams with AddStream, then call Run.
+// Queue, add streams with AddStream or AddStreamFunc, then call Run.
 func NewEngine(k *vfs.Kernel) *Engine {
 	return &Engine{
 		k:      k,
 		queues: make(map[device.ID]*devQueue),
-		events: make(chan event),
+		bridge: make(chan bridgeEvent),
 	}
 }
 
@@ -125,14 +151,37 @@ func (e *Engine) Queue(id device.ID, sched Scheduler) {
 }
 
 // AddStream registers a simulated process that begins executing start
-// after the engine's base time. fn runs with the shared kernel; every
-// kernel call it makes is charged to the stream's own virtual clock.
-// Streams are resumed in (virtual time, StreamID) order.
+// after the engine's base time. The program runs against the shared
+// kernel; every kernel call it makes is charged to the stream's own
+// virtual clock. Streams are resumed in (virtual time, StreamID) order.
 //
 //sledlint:allow panicpath -- setup-phase API misuse, before any simulated I/O runs
-func (e *Engine) AddStream(start simclock.Duration, fn func(h *Handle) error) StreamID {
+func (e *Engine) AddStream(start simclock.Duration, prog Program) StreamID {
 	if e.running {
 		panic("iosched: AddStream called while running")
+	}
+	id := StreamID(len(e.streams))
+	e.streams = append(e.streams, &stream{
+		id:    id,
+		start: start,
+		prog:  prog,
+	})
+	return id
+}
+
+// AddStreamFunc registers a simulated process written as a blocking
+// closure. The closure runs on a private goroutine under a strict
+// cooperative handoff: when it touches a queued device the goroutine
+// parks inside the access until the engine dispatches and completes the
+// request, so blocking application code shared with the single-process
+// paths runs unchanged. Code that can be expressed as a Program should
+// use AddStream: a Program stream costs a heap entry instead of a
+// goroutine stack.
+//
+//sledlint:allow panicpath -- setup-phase API misuse, before any simulated I/O runs
+func (e *Engine) AddStreamFunc(start simclock.Duration, fn func(h *Handle) error) StreamID {
+	if e.running {
+		panic("iosched: AddStreamFunc called while running")
 	}
 	id := StreamID(len(e.streams))
 	e.streams = append(e.streams, &stream{
@@ -142,35 +191,6 @@ func (e *Engine) AddStream(start simclock.Duration, fn func(h *Handle) error) St
 		resume: make(chan simclock.Duration),
 	})
 	return id
-}
-
-// Handle is a stream's interface to the engine, passed to the stream
-// function. Streams otherwise interact with the engine implicitly, through
-// the queued devices underneath the kernel.
-type Handle struct {
-	e  *Engine
-	id StreamID
-}
-
-// ID returns the stream's identity.
-func (h *Handle) ID() StreamID { return h.e.streams[h.id].id }
-
-// Now reports the stream's current virtual time.
-func (h *Handle) Now() simclock.Duration { return h.e.streams[h.id].clock.Now() }
-
-// Sleep suspends the stream for d of virtual time. Other streams run
-// meanwhile; the engine wakes this one when the simulation reaches the
-// target instant.
-//
-//sledlint:allow panicpath -- negative duration is a caller bug, mirroring simclock.Advance
-func (h *Handle) Sleep(d simclock.Duration) {
-	if d < 0 {
-		panic(fmt.Sprintf("iosched: negative sleep %v", d))
-	}
-	st := h.e.streams[h.id]
-	h.e.events <- event{stream: h.id, sleeping: true, wake: st.clock.Now() + d}
-	granted := <-st.resume
-	st.clock.AdvanceTo(granted)
 }
 
 // Run executes all streams to completion in deterministic virtual-time
@@ -187,30 +207,55 @@ func (e *Engine) Run() error {
 	e.running = true
 	mainClock := e.k.Clock
 	e.base = mainClock.Now()
-	for _, dq := range e.queues {
+	e.heap = e.heap[:0]
+	for _, id := range e.order {
+		dq := e.queues[id]
 		dq.clock.AdvanceTo(e.base)
 		dq.free = e.base
 		dq.busy = false
 		dq.inflight = nil
+		dq.dispatchUp = false
 	}
 	for _, st := range e.streams {
 		st.clock = simclock.New()
 		st.clock.AdvanceTo(e.base + st.start)
 		st.state = stateUnstarted
 		st.wakeAt = e.base + st.start
-		e.launch(st)
+		st.cont = vfs.IOStep{}
+		st.req = nil
+		st.res = Result{}
+		st.err = nil
+		if st.fn != nil {
+			e.launch(st)
+		}
+		e.heap.push(engineEvent{time: st.wakeAt, kind: evResume, stream: st.id})
 	}
 
-	for !e.allDone() {
-		ev, ok := e.nextEvent()
-		if !ok {
-			panic("iosched: no runnable event with streams outstanding") //sledlint:allow panicpath -- scheduler-deadlock invariant; faults ride events as errors
-		}
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		e.events++
 		switch ev.kind {
 		case evResume:
-			e.resumeStream(e.streams[ev.stream], ev.time)
+			st := e.streams[ev.stream]
+			if st.state == stateBlocked {
+				e.retire(st)
+			}
+			if st.fn != nil {
+				e.runFuncStream(st, ev.time)
+				continue
+			}
+			e.runStream(st, ev.time)
 		case evDispatch:
-			e.dispatch(e.queues[ev.dev], ev.time)
+			dq := e.queues[ev.dev]
+			if !dq.dispatchUp || ev.time != dq.dispatchAt {
+				continue // superseded by an earlier-arriving submission
+			}
+			e.dispatch(dq, ev.time)
+		}
+	}
+	for _, st := range e.streams {
+		if st.state != stateDone {
+			panic("iosched: no runnable event with streams outstanding") //sledlint:allow panicpath -- scheduler-deadlock invariant; faults ride events as errors
 		}
 	}
 
@@ -231,9 +276,117 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// launch starts the stream goroutine. It waits for its first resume grant,
-// runs the stream function, and reports completion. A panicking stream is
-// converted into a stream error so the engine cannot deadlock.
+// retire returns the stream's completed request's device to idle and, if
+// requests are waiting there, queues the next dispatch. The next dispatch
+// lands at the same instant but after every same-instant resume, so a
+// request submitted "now" by a just-resumed stream is visible to the
+// scheduler deciding "now" — as under the goroutine engine.
+func (e *Engine) retire(st *stream) {
+	dq := e.queues[st.req.Dev]
+	dq.busy = false
+	dq.free = dq.inflightDone
+	dq.lastPos = dq.inflight.Off + dq.inflight.Length
+	dq.inflight = nil
+	e.maybeDispatch(dq)
+}
+
+// maybeDispatch queues a dispatch event for an idle device with waiting
+// requests, at the instant the device can next start one. Streams advance
+// their own clocks between resuming and submitting, so a submission
+// processed later can still carry an earlier arrival and pull the dispatch
+// instant forward: the earlier event is pushed alongside the stale one,
+// dispatchAt marks which is live, and the loop drops the superseded pop.
+func (e *Engine) maybeDispatch(dq *devQueue) {
+	if dq.busy || dq.sched.Len() == 0 {
+		return
+	}
+	t, _ := dq.sched.MinArrival()
+	if t < dq.free {
+		t = dq.free
+	}
+	if dq.dispatchUp && dq.dispatchAt <= t {
+		return
+	}
+	dq.dispatchUp = true
+	dq.dispatchAt = t
+	e.heap.push(engineEvent{time: t, kind: evDispatch, dev: dq.id})
+}
+
+// runStream executes one stream from virtual time t until it suspends on
+// a request, sleeps, or finishes: first resuming the suspended operation
+// with its request's outcome (if the stream was blocked), then pulling Ops
+// from the program.
+func (e *Engine) runStream(st *stream, t simclock.Duration) {
+	st.clock.AdvanceTo(t)
+	e.current = st.id
+	e.k.SetClock(st.clock)
+	h := &Handle{e: e, k: e.k, id: st.id}
+
+	var step vfs.IOStep
+	haveStep := false
+	if st.state == stateBlocked {
+		devErr := st.req.Err
+		st.req = nil
+		cont := st.cont
+		st.cont = vfs.IOStep{}
+		if !e.protect(st, func() { step = cont.Resume(devErr) }) {
+			return
+		}
+		haveStep = true
+	}
+
+	for {
+		if haveStep {
+			haveStep = false
+			if step.Blocked() {
+				r := e.pending
+				if r == nil {
+					panic("iosched: operation suspended without a submitted request") //sledlint:allow panicpath -- resumable-layer invariant: ErrBlocked implies a registered request
+				}
+				e.pending = nil
+				st.state = stateBlocked
+				st.cont = step
+				st.req = r
+				dq := e.queues[r.Dev]
+				dq.sched.Add(r)
+				e.maybeDispatch(dq)
+				return
+			}
+			st.res = Result{N: int(step.N()), Err: step.Err()}
+		}
+		var op Op
+		if !e.protect(st, func() { op = st.prog.Step(h, st.res) }) {
+			return
+		}
+		switch op.kind {
+		case opExit:
+			st.state = stateDone
+			st.finish = st.clock.Now()
+			st.err = op.err
+			return
+		case opSleep:
+			if op.sleep < 0 {
+				st.state = stateDone
+				st.finish = st.clock.Now()
+				st.err = fmt.Errorf("iosched: stream %d panicked: iosched: negative sleep %v", st.id, op.sleep)
+				return
+			}
+			st.state = stateSleeping
+			st.wakeAt = st.clock.Now() + op.sleep
+			e.heap.push(engineEvent{time: st.wakeAt, kind: evResume, stream: st.id})
+			return
+		case opIO:
+			if !e.protect(st, func() { step = op.start(h) }) {
+				return
+			}
+			haveStep = true
+		}
+	}
+}
+
+// launch starts an fn stream's goroutine. It parks immediately on the
+// resume channel; the engine releases it (and every later wake) from
+// runFuncStream, so at most one stream executes at any moment.
 func (e *Engine) launch(st *stream) {
 	go func() {
 		<-st.resume
@@ -243,85 +396,24 @@ func (e *Engine) launch(st *stream) {
 					err = fmt.Errorf("iosched: stream %d panicked: %v", st.id, p)
 				}
 			}()
-			return st.fn(&Handle{e: e, id: st.id})
+			return st.fn(&Handle{e: e, k: e.k, id: st.id})
 		}()
-		e.events <- event{stream: st.id, finished: true, err: err}
+		e.bridge <- bridgeEvent{stream: st.id, finished: true, err: err}
 	}()
 }
 
-// engineEvent is one schedulable occurrence.
-type engineEvent struct {
-	time   simclock.Duration
-	kind   int // evResume before evDispatch at equal times
-	stream StreamID
-	dev    device.ID
-}
-
-const (
-	evResume   = 0 // a stream starts, wakes from sleep, or its request completes
-	evDispatch = 1 // an idle device begins servicing a queued request
-)
-
-// nextEvent selects the lowest (time, kind, id) pending event. Resumes at
-// a given instant are processed before dispatches at the same instant so
-// that a request submitted "now" by a just-woken stream is visible to the
-// scheduler deciding "now".
-func (e *Engine) nextEvent() (engineEvent, bool) {
-	var best engineEvent
-	have := false
-	consider := func(c engineEvent) {
-		if !have || c.time < best.time ||
-			(c.time == best.time && (c.kind < best.kind ||
-				(c.kind == best.kind && ((c.kind == evResume && c.stream < best.stream) ||
-					(c.kind == evDispatch && c.dev < best.dev))))) {
-			best = c
-			have = true
-		}
-	}
-	for _, st := range e.streams {
-		switch st.state {
-		case stateUnstarted, stateSleeping:
-			consider(engineEvent{time: st.wakeAt, kind: evResume, stream: st.id})
-		}
-	}
-	for _, id := range e.order {
-		dq := e.queues[id]
-		if dq.busy {
-			consider(engineEvent{time: dq.inflightDone, kind: evResume, stream: dq.inflight.Stream})
-		} else if dq.sched.Len() > 0 {
-			t, _ := dq.sched.MinArrival()
-			if t < dq.free {
-				t = dq.free
-			}
-			consider(engineEvent{time: t, kind: evDispatch, dev: id})
-		}
-	}
-	return best, have
-}
-
-// resumeStream hands control to one stream at virtual time t and blocks
-// until it submits, sleeps, or finishes. A completion resume also retires
-// the in-flight request on the stream's device.
-func (e *Engine) resumeStream(st *stream, t simclock.Duration) {
-	// Retire the completed request, if this resume is a completion.
-	if st.state == stateBlocked {
-		for _, id := range e.order {
-			dq := e.queues[id]
-			if dq.busy && dq.inflight.Stream == st.id && dq.inflightDone == t {
-				dq.busy = false
-				dq.free = dq.inflightDone
-				dq.lastPos = dq.inflight.Off + dq.inflight.Length
-				dq.inflight = nil
-				break
-			}
-		}
-	}
+// runFuncStream hands control to one fn stream at virtual time t and
+// blocks until it submits a request, sleeps, or finishes — the same
+// cooperative handoff the goroutine engine used, with the outcome folded
+// back into heap events.
+func (e *Engine) runFuncStream(st *stream, t simclock.Duration) {
+	st.req = nil
 	e.current = st.id
 	e.k.SetClock(st.clock)
 	st.resume <- t
-	ev := <-e.events
+	ev := <-e.bridge
 	if ev.stream != st.id {
-		panic("iosched: event from a stream that was not running") //sledlint:allow panicpath -- cooperative-handoff invariant of the engine
+		panic("iosched: event from a stream that was not running") //sledlint:allow panicpath -- cooperative-handoff invariant
 	}
 	switch {
 	case ev.finished:
@@ -331,10 +423,30 @@ func (e *Engine) resumeStream(st *stream, t simclock.Duration) {
 	case ev.sleeping:
 		st.state = stateSleeping
 		st.wakeAt = ev.wake
+		e.heap.push(engineEvent{time: st.wakeAt, kind: evResume, stream: st.id})
 	default:
 		st.state = stateBlocked
-		e.queues[ev.req.Dev].sched.Add(ev.req)
+		st.req = ev.req
+		dq := e.queues[ev.req.Dev]
+		dq.sched.Add(ev.req)
+		e.maybeDispatch(dq)
 	}
+}
+
+// protect runs one slice of stream code, converting a panic into stream
+// failure so one broken stream cannot take down the engine. Reports
+// whether fn completed normally.
+func (e *Engine) protect(st *stream, fn func()) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.pending = nil
+			st.state = stateDone
+			st.finish = st.clock.Now()
+			st.err = fmt.Errorf("iosched: stream %d panicked: %v", st.id, p)
+		}
+	}()
+	fn()
+	return true
 }
 
 // dispatch starts servicing the scheduler's pick on an idle device at
@@ -343,6 +455,7 @@ func (e *Engine) resumeStream(st *stream, t simclock.Duration) {
 // rides back to the submitting stream in r.Err; the failed attempt still
 // occupies the device for the time it cost.
 func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
+	dq.dispatchUp = false
 	r := dq.sched.Pick(t, dq.lastPos)
 	if r == nil {
 		panic("iosched: dispatch with no eligible request") //sledlint:allow panicpath -- Scheduler.Pick contract: a non-idle queue must yield a request
@@ -356,23 +469,16 @@ func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
 	dq.busy = true
 	dq.inflight = r
 	dq.inflightDone = dq.clock.Now()
+	e.heap.push(engineEvent{time: dq.inflightDone, kind: evResume, stream: r.Stream})
 }
 
-// allDone reports whether every stream has finished.
-func (e *Engine) allDone() bool {
-	for _, st := range e.streams {
-		if st.state != stateDone {
-			return false
-		}
-	}
-	return true
-}
-
-// submit is called from a stream goroutine (via a QueuedDevice) to queue a
-// request and block until its completion; it returns with c advanced to
-// the completion instant. The returned error is the dispatch outcome — a
-// fault injected below the queue, which the stream's kernel retry policy
-// handles exactly as on an unqueued device.
+// submit is called from inside a running stream (via a QueuedDevice) to
+// register a request with the engine. For a Program stream the access does
+// not complete here: the caller gets vfs.ErrBlocked, the resumable layer
+// captures the operation as a continuation, and the engine feeds the
+// dispatch outcome back in at completion time. For an fn stream the
+// calling goroutine parks until the request completes and the real
+// outcome is returned, so blocking code never sees vfs.ErrBlocked.
 func (e *Engine) submit(c *simclock.Clock, dev device.ID, off, length int64, write bool) error {
 	st := e.streams[e.current]
 	r := &Request{
@@ -385,11 +491,23 @@ func (e *Engine) submit(c *simclock.Clock, dev device.ID, off, length int64, wri
 		seq:     e.seq,
 	}
 	e.seq++
-	e.events <- event{stream: st.id, req: r}
-	granted := <-st.resume
-	c.AdvanceTo(granted)
-	return r.Err
+	if st.fn != nil {
+		e.bridge <- bridgeEvent{stream: st.id, req: r}
+		granted := <-st.resume
+		c.AdvanceTo(granted)
+		return r.Err
+	}
+	if e.pending != nil {
+		panic("iosched: overlapping queued submissions in one op step") //sledlint:allow panicpath -- resumable-layer invariant: one suspension per step
+	}
+	e.pending = r
+	return vfs.ErrBlocked
 }
+
+// Events reports the number of engine events processed so far (stream
+// resumes and device dispatches, summed over every Run on this engine).
+// It is the work metric the events/sec benchmarks rate.
+func (e *Engine) Events() uint64 { return e.events }
 
 // FinishTime reports a stream's virtual completion instant (meaningful
 // after Run).
@@ -427,12 +545,13 @@ func (e *Engine) InFlightRemaining(id device.ID, now simclock.Duration) simclock
 
 // QueuedDevice wraps a device with the engine's request queue. It
 // satisfies device.Device and device.FallibleDevice, so internal/vfs and
-// internal/cache use it unchanged: a stream's read blocks in virtual time
-// until the scheduler has serviced it; outside Run the wrapper is
-// transparent. Stacking composes both ways — an Injector wrapped over a
-// QueuedDevice faults at submission time (before queueing), a QueuedDevice
-// over an Injector faults at dispatch time (the request occupies the
-// device) — and errors propagate through either order.
+// internal/cache use it unchanged: during Run a fallible access registers
+// a request and suspends the issuing operation (vfs.ErrBlocked); outside
+// Run the wrapper is transparent. Stacking composes both ways — an
+// Injector wrapped over a QueuedDevice faults at submission time (before
+// queueing), a QueuedDevice over an Injector faults at dispatch time (the
+// request occupies the device) — and errors propagate through either
+// order.
 type QueuedDevice struct {
 	e  *Engine
 	dq *devQueue
@@ -443,10 +562,15 @@ func (q *QueuedDevice) Info() device.Info { return q.dq.dev.Info() }
 
 // Read implements the infallible device path; like faults.Injector, it
 // panics if the underlying device faults, because an infallible caller
-// has no way to observe the error. Fault-aware code uses device.ReadErr.
+// has no way to observe the error. During Run an infallible access cannot
+// suspend, so it is also a panic; fault-aware code uses device.ReadErr,
+// which every kernel path does.
 //
 //sledlint:allow panicpath -- documented infallible-wrapper contract; fallible callers use ReadErr
 func (q *QueuedDevice) Read(c *simclock.Clock, off, length int64) {
+	if q.e.running {
+		panic("iosched: infallible Read on a queued device during Run; use a fallible access")
+	}
 	if err := q.ReadErr(c, off, length); err != nil {
 		panic(fmt.Sprintf("iosched: infallible Read on a faulted device: %v", err))
 	}
@@ -456,6 +580,9 @@ func (q *QueuedDevice) Read(c *simclock.Clock, off, length int64) {
 //
 //sledlint:allow panicpath -- documented infallible-wrapper contract; fallible callers use WriteErr
 func (q *QueuedDevice) Write(c *simclock.Clock, off, length int64) {
+	if q.e.running {
+		panic("iosched: infallible Write on a queued device during Run; use a fallible access")
+	}
 	if err := q.WriteErr(c, off, length); err != nil {
 		panic(fmt.Sprintf("iosched: infallible Write on a faulted device: %v", err))
 	}

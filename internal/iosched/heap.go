@@ -1,0 +1,86 @@
+package iosched
+
+import (
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+)
+
+// engineEvent is one schedulable occurrence: a stream resume (start, sleep
+// wake, or request completion) or a device dispatch.
+type engineEvent struct {
+	time   simclock.Duration
+	kind   int // evResume before evDispatch at equal times
+	stream StreamID
+	dev    device.ID
+}
+
+const (
+	evResume   = 0 // a stream starts, wakes from sleep, or its request completes
+	evDispatch = 1 // an idle device begins servicing a queued request
+)
+
+// eventLess is the engine's total event order: time, then resumes before
+// dispatches, then stream ID (resumes) or device ID (dispatches). It is
+// the same tie-break the goroutine engine's linear scan applied, so the
+// two engines process identical event sequences.
+func eventLess(a, b engineEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.kind == evResume {
+		return a.stream < b.stream
+	}
+	return a.dev < b.dev
+}
+
+// eventHeap is a binary min-heap of pending events under eventLess. Stream
+// resumes are unique per stream and always live (a stream waits on at most
+// one thing, at a fixed time). Dispatch events can be superseded: a
+// submission carrying an earlier arrival than the pending dispatch's
+// min-arrival pulls the dispatch instant forward, pushing a second event
+// and leaving the stale one to be dropped on pop (devQueue.dispatchAt
+// marks the live one).
+type eventHeap []engineEvent
+
+func (h *eventHeap) push(ev engineEvent) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() engineEvent {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && eventLess(s[l], s[smallest]) {
+			smallest = l
+		}
+		if r < len(s) && eventLess(s[r], s[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}

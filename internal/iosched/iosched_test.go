@@ -34,7 +34,7 @@ func (f *fakeDev) Write(c *simclock.Clock, off, length int64) { f.Read(c, off, l
 func (f *fakeDev) Reset()                                     { f.resets++ }
 
 // testKernel boots a minimal kernel with a fake device attached.
-func testKernel(t *testing.T, cost simclock.Duration) (*vfs.Kernel, *fakeDev, device.ID) {
+func testKernel(t testing.TB, cost simclock.Duration) (*vfs.Kernel, *fakeDev, device.ID) {
 	t.Helper()
 	mem := device.NewMem(device.DefaultMemConfig(0))
 	k := vfs.NewKernel(vfs.Config{PageSize: 4096, CachePages: 64, MemDevice: mem})
@@ -44,17 +44,28 @@ func testKernel(t *testing.T, cost simclock.Duration) (*vfs.Kernel, *fakeDev, de
 	return k, fd, id
 }
 
-// readDev issues one read on the (possibly queued) device through the
-// kernel registry, on the kernel's current clock.
-func readDev(k *vfs.Kernel, id device.ID, off int64) {
-	k.Devices.Get(id).Read(k.Clock, off, 4096)
+// devReadProg is a stream that reads the given offsets on the device one
+// after another (4 KiB each) and exits with the first error.
+func devReadProg(id device.ID, offs ...int64) Program {
+	i := 0
+	return ProgramFunc(func(h *Handle, prev Result) Op {
+		if prev.Err != nil {
+			return Exit(prev.Err)
+		}
+		if i >= len(offs) {
+			return Exit(nil)
+		}
+		off := offs[i]
+		i++
+		return DevRead(id, off, 4096)
+	})
 }
 
 func TestPassthroughOutsideRun(t *testing.T) {
 	k, fd, id := testKernel(t, 10*simclock.Millisecond)
 	e := NewEngine(k)
 	e.Queue(id, NewFCFS())
-	readDev(k, id, 123)
+	k.Devices.Get(id).Read(k.Clock, 123, 4096)
 	if got := k.Clock.Now(); got != 10*simclock.Millisecond {
 		t.Fatalf("passthrough read advanced clock to %v, want 10ms", got)
 	}
@@ -68,11 +79,7 @@ func TestFCFSOrderIsArrivalOrder(t *testing.T) {
 	e := NewEngine(k)
 	e.Queue(id, NewFCFS())
 	for _, off := range []int64{300, 100, 200} {
-		off := off
-		e.AddStream(0, func(h *Handle) error {
-			readDev(k, id, off)
-			return nil
-		})
+		e.AddStream(0, devReadProg(id, off))
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -93,11 +100,7 @@ func TestSSTFOrderIsNearestFirst(t *testing.T) {
 	e := NewEngine(k)
 	e.Queue(id, NewSSTF())
 	for _, off := range []int64{300 << 20, 100 << 20, 200 << 20} {
-		off := off
-		e.AddStream(0, func(h *Handle) error {
-			readDev(k, id, off)
-			return nil
-		})
+		e.AddStream(0, devReadProg(id, off))
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -117,16 +120,12 @@ func TestDeadlineBoundsStarvation(t *testing.T) {
 		k, fd, id := testKernel(t, 10*simclock.Millisecond)
 		e := NewEngine(k)
 		e.Queue(id, sched)
-		e.AddStream(0, func(h *Handle) error {
-			readDev(k, id, 1<<30)
-			return nil
-		})
-		e.AddStream(0, func(h *Handle) error {
-			for i := int64(0); i < 5; i++ {
-				readDev(k, id, i*8192)
-			}
-			return nil
-		})
+		e.AddStream(0, devReadProg(id, 1<<30))
+		near := make([]int64, 5)
+		for i := range near {
+			near[i] = int64(i) * 8192
+		}
+		e.AddStream(0, devReadProg(id, near...))
 		if err := e.Run(); err != nil {
 			t.Fatal(err)
 		}
@@ -147,24 +146,25 @@ func TestLoadProviderReportsQueueState(t *testing.T) {
 	e := NewEngine(k)
 	e.Queue(id, NewFCFS())
 	for i := 0; i < 3; i++ {
-		e.AddStream(0, func(h *Handle) error {
-			readDev(k, id, 0)
-			return nil
-		})
+		e.AddStream(0, devReadProg(id, 0))
 	}
 	type probe struct {
 		depth int
 		rem   simclock.Duration
 	}
 	var got probe
-	e.AddStream(0, func(h *Handle) error {
-		h.Sleep(5 * simclock.Millisecond)
+	slept := false
+	e.AddStream(0, ProgramFunc(func(h *Handle, prev Result) Op {
+		if !slept {
+			slept = true
+			return Sleep(5 * simclock.Millisecond)
+		}
 		got = probe{
 			depth: e.QueueDepth(id),
 			rem:   e.InFlightRemaining(id, h.Now()),
 		}
-		return nil
-	})
+		return Exit(nil)
+	}))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -184,13 +184,10 @@ func TestStreamErrorAndPanicSurface(t *testing.T) {
 	k, _, id := testKernel(t, simclock.Millisecond)
 	e := NewEngine(k)
 	e.Queue(id, NewFCFS())
-	e.AddStream(0, func(h *Handle) error {
+	e.AddStream(0, ProgramFunc(func(h *Handle, prev Result) Op {
 		panic("boom")
-	})
-	e.AddStream(0, func(h *Handle) error {
-		readDev(k, id, 0)
-		return nil
-	})
+	}))
+	e.AddStream(0, devReadProg(id, 0))
 	err := e.Run()
 	if err == nil {
 		t.Fatal("want error from panicking stream")
@@ -199,7 +196,7 @@ func TestStreamErrorAndPanicSurface(t *testing.T) {
 
 // bootFileKernel builds a kernel with a real disk holding one file per
 // stream.
-func bootFileKernel(t *testing.T, files int, size int64) (*vfs.Kernel, device.ID, []string) {
+func bootFileKernel(t testing.TB, files int, size int64) (*vfs.Kernel, device.ID, []string) {
 	t.Helper()
 	mem := device.NewMem(device.DefaultMemConfig(0))
 	k := vfs.NewKernel(vfs.Config{PageSize: 4096, CachePages: 256, MemDevice: mem})
@@ -220,7 +217,7 @@ func bootFileKernel(t *testing.T, files int, size int64) (*vfs.Kernel, device.ID
 	return k, disk, paths
 }
 
-// readAll reads a file to EOF in 16 KiB chunks.
+// readAll reads a file to EOF in 16 KiB chunks, synchronously.
 func readAll(k *vfs.Kernel, path string) error {
 	f, err := k.Open(path)
 	if err != nil {
@@ -239,6 +236,32 @@ func readAll(k *vfs.Kernel, path string) error {
 	}
 }
 
+// readAllProg is readAll as a stream program.
+func readAllProg(k *vfs.Kernel, path string) Program {
+	var f *vfs.File
+	var buf []byte
+	return ProgramFunc(func(h *Handle, prev Result) Op {
+		if f == nil {
+			var err error
+			f, err = k.Open(path)
+			if err != nil {
+				return Exit(err)
+			}
+			buf = make([]byte, 16<<10)
+			return Read(f, buf)
+		}
+		if prev.Err == io.EOF {
+			f.Close()
+			return Exit(nil)
+		}
+		if prev.Err != nil {
+			f.Close()
+			return Exit(prev.Err)
+		}
+		return Read(f, buf)
+	})
+}
+
 func TestSingleStreamMatchesUnqueuedTiming(t *testing.T) {
 	const size = 256 << 10
 	// Reference: plain sequential read, no engine.
@@ -252,7 +275,7 @@ func TestSingleStreamMatchesUnqueuedTiming(t *testing.T) {
 	k, disk, paths := bootFileKernel(t, 1, size)
 	e := NewEngine(k)
 	e.Queue(disk, NewFCFS())
-	e.AddStream(0, func(h *Handle) error { return readAll(k, paths[0]) })
+	e.AddStream(0, readAllProg(k, paths[0]))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -267,10 +290,7 @@ func TestMultiStreamDeterminism(t *testing.T) {
 		e := NewEngine(k)
 		e.Queue(disk, NewSSTF())
 		for i := range paths {
-			path := paths[i]
-			e.AddStream(simclock.Duration(i)*simclock.Millisecond, func(h *Handle) error {
-				return readAll(k, path)
-			})
+			e.AddStream(simclock.Duration(i)*simclock.Millisecond, readAllProg(k, paths[i]))
 		}
 		if err := e.Run(); err != nil {
 			t.Fatal(err)
@@ -290,7 +310,7 @@ func TestMultiStreamDeterminism(t *testing.T) {
 	k, disk, paths := bootFileKernel(t, 1, 128<<10)
 	e := NewEngine(k)
 	e.Queue(disk, NewFCFS())
-	e.AddStream(0, func(h *Handle) error { return readAll(k, paths[0]) })
+	e.AddStream(0, readAllProg(k, paths[0]))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -312,8 +332,7 @@ func TestKernelClockRestoredAfterRun(t *testing.T) {
 	e := NewEngine(k)
 	e.Queue(disk, NewFCFS())
 	for i := range paths {
-		path := paths[i]
-		e.AddStream(0, func(h *Handle) error { return readAll(k, path) })
+		e.AddStream(0, readAllProg(k, paths[i]))
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -352,6 +371,25 @@ func faultCfg() faults.Config {
 	return faults.Config{Seed: 1, PFault: 1, MaxConsecutive: 1}
 }
 
+// twoReadsCapturingFirst reads offset 512 twice, saving the first read's
+// outcome into *firstErr and exiting with the second's.
+func twoReadsCapturingFirst(id device.ID, firstErr *error) Program {
+	step := 0
+	return ProgramFunc(func(h *Handle, prev Result) Op {
+		switch step {
+		case 0:
+			step = 1
+			return DevRead(id, 512, 4096)
+		case 1:
+			step = 2
+			*firstErr = prev.Err
+			return DevRead(id, 512, 4096)
+		default:
+			return Exit(prev.Err)
+		}
+	})
+}
+
 // TestInjectorOverQueuedDevice stacks a fault injector over the engine's
 // queue wrapper (Registry.Replace after Queue): faults fire at submission
 // time, before the request occupies the device, and a retry rides the
@@ -364,11 +402,7 @@ func TestInjectorOverQueuedDevice(t *testing.T) {
 	k.Devices.Replace(id, wrapped)
 
 	var firstErr error
-	e.AddStream(0, func(h *Handle) error {
-		d := k.Devices.Get(id)
-		firstErr = device.ReadErr(d, k.Clock, 512, 4096)
-		return device.ReadErr(d, k.Clock, 512, 4096)
-	})
+	e.AddStream(0, twoReadsCapturingFirst(id, &firstErr))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -397,11 +431,7 @@ func TestQueuedDeviceOverInjector(t *testing.T) {
 	e.Queue(id, NewFCFS())
 
 	var firstErr error
-	e.AddStream(0, func(h *Handle) error {
-		d := k.Devices.Get(id)
-		firstErr = device.ReadErr(d, k.Clock, 512, 4096)
-		return device.ReadErr(d, k.Clock, 512, 4096)
-	})
+	e.AddStream(0, twoReadsCapturingFirst(id, &firstErr))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,189 @@
+package iosched
+
+import (
+	"errors"
+	"fmt"
+
+	"sleds/internal/device"
+	"sleds/internal/simclock"
+	"sleds/internal/vfs"
+)
+
+// A stream is an explicit state machine, not a blocked goroutine: the
+// engine repeatedly asks its Program for the next operation (an Op) and
+// executes it, feeding the result into the following Step call. Any amount
+// of synchronous work — opening files, scanning buffers, charging CPU time
+// to the stream's clock — can happen inside Step; only the operations that
+// may suspend on a queued device (and sleeps) are expressed as Ops, which
+// is what lets one engine thread interleave tens of thousands of streams
+// without a stack per stream.
+
+// Result is the outcome of the previous Op, passed to Program.Step. The
+// first Step call of a stream receives a zero Result.
+type Result struct {
+	N   int
+	Err error
+}
+
+// Program is one simulated process: Step returns the next operation to
+// run. Returning Exit ends the stream.
+type Program interface {
+	Step(h *Handle, prev Result) Op
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(h *Handle, prev Result) Op
+
+// Step implements Program.
+func (f ProgramFunc) Step(h *Handle, prev Result) Op { return f(h, prev) }
+
+// Handle is a stream's interface to its execution context, passed to every
+// Step call. Under an Engine it reports the stream's identity and virtual
+// time; under RunProgram it reflects the kernel's clock directly.
+type Handle struct {
+	e  *Engine // nil under RunProgram
+	k  *vfs.Kernel
+	id StreamID
+}
+
+// ID returns the stream's identity (0 under RunProgram).
+func (h *Handle) ID() StreamID { return h.id }
+
+// Now reports the stream's current virtual time. While a stream executes,
+// the kernel's clock is the stream's own clock.
+func (h *Handle) Now() simclock.Duration { return h.k.Clock.Now() }
+
+// Sleep suspends an fn stream (AddStreamFunc) for d of virtual time; other
+// streams run meanwhile. Program streams sleep with the Sleep Op instead —
+// a Step has no goroutine to park.
+//
+//sledlint:allow panicpath -- misuse of the blocking API from a Program, not a simulation outcome
+func (h *Handle) Sleep(d simclock.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("iosched: negative sleep %v", d))
+	}
+	if h.e == nil {
+		h.k.Clock.Advance(d)
+		return
+	}
+	st := h.e.streams[h.id]
+	if st.fn == nil {
+		panic("iosched: Handle.Sleep from a Program stream; return the Sleep op instead")
+	}
+	h.e.bridge <- bridgeEvent{stream: h.id, sleeping: true, wake: st.clock.Now() + d}
+	granted := <-st.resume
+	st.clock.AdvanceTo(granted)
+}
+
+// opKind discriminates Op variants.
+type opKind int
+
+const (
+	opExit opKind = iota
+	opSleep
+	opIO
+)
+
+// Op is one operation a Program asks its driver to run: finish the stream,
+// sleep in virtual time, or perform a (possibly suspending) I/O.
+type Op struct {
+	kind  opKind
+	sleep simclock.Duration
+	err   error
+	start func(h *Handle) vfs.IOStep
+}
+
+// Exit ends the stream with the given error (nil for success).
+func Exit(err error) Op { return Op{kind: opExit, err: err} }
+
+// Sleep suspends the stream for d of virtual time; other streams run
+// meanwhile.
+func Sleep(d simclock.Duration) Op { return Op{kind: opSleep, sleep: d} }
+
+// ReadAt reads len(p) bytes from f at offset off (File.ReadAt as an Op).
+func ReadAt(f *vfs.File, p []byte, off int64) Op {
+	return Op{kind: opIO, start: func(*Handle) vfs.IOStep { return f.ReadAtStep(p, off) }}
+}
+
+// ReadAtMapped is File.ReadAtMapped as an Op: no per-byte copy charge.
+func ReadAtMapped(f *vfs.File, p []byte, off int64) Op {
+	return Op{kind: opIO, start: func(*Handle) vfs.IOStep { return f.ReadAtMappedStep(p, off) }}
+}
+
+// Read reads from f's cursor (File.Read as an Op).
+func Read(f *vfs.File, p []byte) Op {
+	return Op{kind: opIO, start: func(*Handle) vfs.IOStep { return f.ReadStep(p) }}
+}
+
+// WriteAt writes p to f at offset off (File.WriteAt as an Op).
+func WriteAt(f *vfs.File, p []byte, off int64) Op {
+	return Op{kind: opIO, start: func(*Handle) vfs.IOStep { return f.WriteAtStep(p, off) }}
+}
+
+// Write writes p at f's cursor (File.Write as an Op).
+func Write(f *vfs.File, p []byte) Op {
+	return Op{kind: opIO, start: func(*Handle) vfs.IOStep { return f.WriteStep(p) }}
+}
+
+// DevRead accesses the device registered under id directly, below the VFS:
+// the raw dispatch outcome (a fault injected under the queue, untouched by
+// the kernel retry policy) comes back in Result.Err.
+func DevRead(id device.ID, off, length int64) Op {
+	return Op{kind: opIO, start: func(h *Handle) vfs.IOStep {
+		return deviceStep(h.k, id, off, length, false)
+	}}
+}
+
+// DevWrite is the write counterpart of DevRead.
+func DevWrite(id device.ID, off, length int64) Op {
+	return Op{kind: opIO, start: func(h *Handle) vfs.IOStep {
+		return deviceStep(h.k, id, off, length, true)
+	}}
+}
+
+// deviceStep wraps one raw device access as an IOStep, so queued devices
+// can suspend it like any kernel I/O.
+func deviceStep(k *vfs.Kernel, id device.ID, off, length int64, write bool) vfs.IOStep {
+	dev := k.Devices.Get(id)
+	var err error
+	if write {
+		err = device.WriteErr(dev, k.Clock, off, length)
+	} else {
+		err = device.ReadErr(dev, k.Clock, off, length)
+	}
+	if errors.Is(err, vfs.ErrBlocked) {
+		return vfs.BlockedStep(func(devErr error) vfs.IOStep { return vfs.DoneStep(0, devErr) })
+	}
+	return vfs.DoneStep(0, err)
+}
+
+// RunProgram executes a Program synchronously on the kernel's clock, with
+// no engine: every Op completes in place (there are no queued devices to
+// suspend on), so the program's schedule is identical to calling the
+// kernel's blocking API directly. It is the single-process driver of the
+// same state machines the Engine interleaves.
+//
+//sledlint:allow panicpath -- suspension and negative sleep are API misuse outside an engine run, not simulation outcomes
+func RunProgram(k *vfs.Kernel, prog Program) error {
+	h := &Handle{k: k}
+	var res Result
+	for {
+		op := prog.Step(h, res)
+		switch op.kind {
+		case opExit:
+			return op.err
+		case opSleep:
+			if op.sleep < 0 {
+				panic(fmt.Sprintf("iosched: negative sleep %v", op.sleep))
+			}
+			k.Clock.Advance(op.sleep)
+			res = Result{}
+		case opIO:
+			step := op.start(h)
+			if step.Blocked() {
+				panic("iosched: program suspended outside an engine run")
+			}
+			res = Result{N: int(step.N()), Err: step.Err()}
+		}
+	}
+}

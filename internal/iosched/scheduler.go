@@ -2,6 +2,7 @@ package iosched
 
 import (
 	"fmt"
+	"sort"
 
 	"sleds/internal/device"
 	"sleds/internal/simclock"
@@ -29,6 +30,11 @@ type Request struct {
 	// is itself deterministic (the engine runs streams in virtual-time,
 	// stream-ID order), so seq is a stable final tie-break for schedulers.
 	seq uint64
+
+	// picked marks a request removed through a scheduler's offset index;
+	// the arrival heap deletes lazily, dropping marked entries when they
+	// surface.
+	picked bool
 }
 
 // Scheduler is a pluggable per-device request scheduling policy. The
@@ -59,81 +65,144 @@ type Scheduler interface {
 	MinArrival() (t simclock.Duration, ok bool)
 }
 
-// queue is the shared request store: a slice in insertion (seq) order.
-// All three policies scan it; queues are bounded by the stream count, so
-// linear scans are cheaper than maintaining ordered structures.
-type queue struct {
-	reqs []*Request
+// The engine dispatches only at instants no earlier than every queued
+// arrival (event times are non-decreasing), so in engine use every queued
+// request is eligible at Pick time and the indexed fast paths below always
+// apply. The schedulers still honour the general contract — a Pick at an
+// instant that predates some arrivals falls back to the same linear scans
+// the policies were first written as, preserving their exact tie-breaks.
+
+// arrivalLess is the (Arrival, seq) order shared by FCFS service order,
+// MinArrival, and deadline expiry (Deadline = Arrival + constant quantum
+// preserves it).
+func arrivalLess(a, b *Request) bool {
+	return a.Arrival < b.Arrival || (a.Arrival == b.Arrival && a.seq < b.seq)
 }
 
-func (q *queue) Add(r *Request) { q.reqs = append(q.reqs, r) }
-func (q *queue) Len() int       { return len(q.reqs) }
-func (q *queue) remove(idx int) *Request {
-	r := q.reqs[idx]
-	q.reqs = append(q.reqs[:idx], q.reqs[idx+1:]...)
-	return r
-}
+// arrivalHeap is a binary min-heap of requests under arrivalLess, with
+// lazy deletion: requests removed through an offset index stay in the
+// heap, marked picked, and are discarded when they reach the top.
+type arrivalHeap []*Request
 
-func (q *queue) MinArrival() (simclock.Duration, bool) {
-	if len(q.reqs) == 0 {
-		return 0, false
-	}
-	min := q.reqs[0].Arrival
-	for _, r := range q.reqs[1:] {
-		if r.Arrival < min {
-			min = r.Arrival
+func (h *arrivalHeap) push(r *Request) {
+	*h = append(*h, r)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !arrivalLess(s[i], s[parent]) {
+			break
 		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return min, true
 }
 
-// FCFS services requests strictly in arrival order (the no-scheduler
-// baseline: a single FIFO per device).
-type FCFS struct{ queue }
-
-// NewFCFS returns a first-come-first-served scheduler.
-func NewFCFS() *FCFS { return &FCFS{} }
-
-// Name implements Scheduler.
-func (s *FCFS) Name() string { return "fcfs" }
-
-// Pick implements Scheduler: earliest arrival, seq tie-break.
-func (s *FCFS) Pick(now simclock.Duration, pos int64) *Request {
-	best := -1
-	for i, r := range s.reqs {
-		if r.Arrival > now {
-			continue
+// peek returns the live minimum, discarding picked entries; nil if empty.
+func (h *arrivalHeap) peek() *Request {
+	for len(*h) > 0 {
+		if top := (*h)[0]; !top.picked {
+			return top
 		}
-		if best < 0 || r.Arrival < s.reqs[best].Arrival ||
-			(r.Arrival == s.reqs[best].Arrival && r.seq < s.reqs[best].seq) {
-			best = i
-		}
+		h.pop()
 	}
-	if best < 0 {
-		return nil
-	}
-	return s.remove(best)
+	return nil
 }
 
-// SSTF is shortest-seek-time-first: it services the eligible request whose
-// offset is nearest the device's current position, the classic elevator
-// family policy for seek-dominated devices (disk.go's three-term seek
-// curve makes distance-in-bytes a faithful proxy for distance-in-
-// cylinders, since cylinders are a linear slicing of the byte space).
-type SSTF struct{ queue }
+func (h *arrivalHeap) pop() *Request {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = nil
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && arrivalLess(s[l], s[smallest]) {
+			smallest = l
+		}
+		if r < len(s) && arrivalLess(s[r], s[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
 
-// NewSSTF returns a shortest-seek-time-first scheduler.
-func NewSSTF() *SSTF { return &SSTF{} }
+// offIndex keeps queued requests sorted by (Off, seq), the key seek-aware
+// policies pick by.
+type offIndex []*Request
 
-// Name implements Scheduler.
-func (s *SSTF) Name() string { return "sstf" }
+func offLess(a, b *Request) bool {
+	return a.Off < b.Off || (a.Off == b.Off && a.seq < b.seq)
+}
 
-// Pick implements Scheduler: minimum |Off - pos|, ties to the lower
-// offset (ascending sweep), then seq.
-func (s *SSTF) Pick(now simclock.Duration, pos int64) *Request {
-	best := -1
+func (x *offIndex) insert(r *Request) {
+	s := *x
+	i := sort.Search(len(s), func(i int) bool { return !offLess(s[i], r) })
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = r
+	*x = s
+}
+
+// remove deletes r, which must be present.
+//
+//sledlint:allow panicpath -- index desync is a scheduler bug, not a simulation outcome
+func (x *offIndex) remove(r *Request) {
+	s := *x
+	i := sort.Search(len(s), func(i int) bool { return !offLess(s[i], r) })
+	if i >= len(s) || s[i] != r {
+		panic("iosched: request missing from offset index")
+	}
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	*x = s[:len(s)-1]
+}
+
+// nearest returns the SSTF pick assuming every entry is eligible: minimum
+// |Off - pos|, ties to the lower offset, then seq. The two candidates are
+// the first request of the lowest-offset run at or above pos and the
+// first request of the run just below it.
+func (x offIndex) nearest(pos int64) *Request {
+	i := sort.Search(len(x), func(i int) bool { return x[i].Off >= pos })
+	var left, right *Request
+	if i < len(x) {
+		right = x[i] // first of its Off run: lowest seq at that offset
+	}
+	if i > 0 {
+		lo := x[i-1].Off
+		j := sort.Search(i, func(j int) bool { return x[j].Off >= lo })
+		left = x[j]
+	}
+	switch {
+	case right == nil:
+		return left
+	case left == nil:
+		return right
+	}
+	dl := pos - left.Off  // > 0: left.Off < pos
+	dr := right.Off - pos // >= 0
+	if dr < dl {
+		return right
+	}
+	// dl < dr, or a distance tie — which the lower offset (left) wins.
+	return left
+}
+
+// nearestEligible is the general-case SSTF scan over arrivals <= now,
+// with the same (distance, Off, seq) tie-break as nearest.
+func (x offIndex) nearestEligible(now simclock.Duration, pos int64) *Request {
+	var best *Request
 	var bestDist int64
-	for i, r := range s.reqs {
+	for _, r := range x {
 		if r.Arrival > now {
 			continue
 		}
@@ -141,16 +210,115 @@ func (s *SSTF) Pick(now simclock.Duration, pos int64) *Request {
 		if d < 0 {
 			d = -d
 		}
-		if best < 0 || d < bestDist ||
-			(d == bestDist && (r.Off < s.reqs[best].Off ||
-				(r.Off == s.reqs[best].Off && r.seq < s.reqs[best].seq))) {
-			best, bestDist = i, d
+		if best == nil || d < bestDist ||
+			(d == bestDist && (r.Off < best.Off ||
+				(r.Off == best.Off && r.seq < best.seq))) {
+			best, bestDist = r, d
 		}
 	}
-	if best < 0 {
+	return best
+}
+
+// FCFS services requests strictly in arrival order (the no-scheduler
+// baseline: a single FIFO per device).
+type FCFS struct {
+	h arrivalHeap
+	n int
+}
+
+// NewFCFS returns a first-come-first-served scheduler.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Scheduler.
+func (s *FCFS) Name() string { return "fcfs" }
+
+// Add implements Scheduler.
+func (s *FCFS) Add(r *Request) {
+	s.h.push(r)
+	s.n++
+}
+
+// Pick implements Scheduler: earliest arrival, seq tie-break. The global
+// (Arrival, seq) minimum is the answer whenever it is eligible, and
+// nothing is eligible when it is not.
+func (s *FCFS) Pick(now simclock.Duration, pos int64) *Request {
+	r := s.h.peek()
+	if r == nil || r.Arrival > now {
 		return nil
 	}
-	return s.remove(best)
+	s.h.pop()
+	s.n--
+	return r
+}
+
+// Len implements Scheduler.
+func (s *FCFS) Len() int { return s.n }
+
+// MinArrival implements Scheduler.
+func (s *FCFS) MinArrival() (simclock.Duration, bool) {
+	r := s.h.peek()
+	if r == nil {
+		return 0, false
+	}
+	return r.Arrival, true
+}
+
+// SSTF is shortest-seek-time-first: it services the eligible request whose
+// offset is nearest the device's current position, the classic elevator
+// family policy for seek-dominated devices (disk.go's three-term seek
+// curve makes distance-in-bytes a faithful proxy for distance-in-
+// cylinders, since cylinders are a linear slicing of the byte space).
+type SSTF struct {
+	h          arrivalHeap
+	x          offIndex
+	n          int
+	maxArrival simclock.Duration // high-water arrival: gates the indexed fast path
+}
+
+// NewSSTF returns a shortest-seek-time-first scheduler.
+func NewSSTF() *SSTF { return &SSTF{} }
+
+// Name implements Scheduler.
+func (s *SSTF) Name() string { return "sstf" }
+
+// Add implements Scheduler.
+func (s *SSTF) Add(r *Request) {
+	s.h.push(r)
+	s.x.insert(r)
+	s.n++
+	if r.Arrival > s.maxArrival {
+		s.maxArrival = r.Arrival
+	}
+}
+
+// Pick implements Scheduler: minimum |Off - pos|, ties to the lower
+// offset (ascending sweep), then seq.
+func (s *SSTF) Pick(now simclock.Duration, pos int64) *Request {
+	if s.n == 0 {
+		return nil
+	}
+	var r *Request
+	if s.maxArrival <= now {
+		r = s.x.nearest(pos)
+	} else if r = s.x.nearestEligible(now, pos); r == nil {
+		return nil
+	}
+	s.x.remove(r)
+	r.picked = true
+	s.n--
+	return r
+}
+
+// Len implements Scheduler.
+func (s *SSTF) Len() int { return s.n }
+
+// MinArrival implements Scheduler.
+func (s *SSTF) MinArrival() (simclock.Duration, bool) {
+	r := s.h.peek()
+	if r == nil {
+		return 0, false
+	}
+	return r.Arrival, true
 }
 
 // Deadline is the Linux-deadline-style hybrid: requests are normally
@@ -158,8 +326,11 @@ func (s *SSTF) Pick(now simclock.Duration, pos int64) *Request {
 // quantum) and an expired request preempts seek optimisation, bounding the
 // starvation SSTF inflicts on far-away offsets.
 type Deadline struct {
-	queue
-	quantum simclock.Duration
+	h          arrivalHeap
+	x          offIndex
+	n          int
+	maxArrival simclock.Duration
+	quantum    simclock.Duration
 }
 
 // DefaultDeadlineQuantum bounds request sojourn under the deadline policy;
@@ -182,45 +353,71 @@ func (s *Deadline) Name() string { return "deadline" }
 // Add implements Scheduler, stamping the expiry.
 func (s *Deadline) Add(r *Request) {
 	r.Deadline = r.Arrival + s.quantum
-	s.queue.Add(r)
+	s.h.push(r)
+	s.x.insert(r)
+	s.n++
+	if r.Arrival > s.maxArrival {
+		s.maxArrival = r.Arrival
+	}
 }
 
 // Pick implements Scheduler: the earliest-deadline eligible request if it
-// has expired, else SSTF order.
+// has expired, else SSTF order. With one constant quantum, (Deadline, seq)
+// order is (Arrival, seq) order, so the arrival heap serves expiry too.
 func (s *Deadline) Pick(now simclock.Duration, pos int64) *Request {
-	oldest := -1
-	for i, r := range s.reqs {
-		if r.Arrival > now {
-			continue
-		}
-		if oldest < 0 || r.Deadline < s.reqs[oldest].Deadline ||
-			(r.Deadline == s.reqs[oldest].Deadline && r.seq < s.reqs[oldest].seq) {
-			oldest = i
-		}
-	}
-	if oldest < 0 {
+	if s.n == 0 {
 		return nil
 	}
-	if s.reqs[oldest].Deadline <= now {
-		return s.remove(oldest)
+	var r *Request
+	if s.maxArrival <= now {
+		if oldest := s.h.peek(); oldest.Deadline <= now {
+			r = oldest
+		} else {
+			r = s.x.nearest(pos)
+		}
+	} else {
+		r = s.pickLinear(now, pos)
+		if r == nil {
+			return nil
+		}
 	}
-	best := -1
-	var bestDist int64
-	for i, r := range s.reqs {
+	s.x.remove(r)
+	r.picked = true
+	s.n--
+	return r
+}
+
+// pickLinear is the general-case deadline scan over arrivals <= now.
+func (s *Deadline) pickLinear(now simclock.Duration, pos int64) *Request {
+	var oldest *Request
+	for _, r := range s.x {
 		if r.Arrival > now {
 			continue
 		}
-		d := r.Off - pos
-		if d < 0 {
-			d = -d
-		}
-		if best < 0 || d < bestDist ||
-			(d == bestDist && (r.Off < s.reqs[best].Off ||
-				(r.Off == s.reqs[best].Off && r.seq < s.reqs[best].seq))) {
-			best, bestDist = i, d
+		if oldest == nil || r.Deadline < oldest.Deadline ||
+			(r.Deadline == oldest.Deadline && r.seq < oldest.seq) {
+			oldest = r
 		}
 	}
-	return s.remove(best)
+	if oldest == nil {
+		return nil
+	}
+	if oldest.Deadline <= now {
+		return oldest
+	}
+	return s.x.nearestEligible(now, pos)
+}
+
+// Len implements Scheduler.
+func (s *Deadline) Len() int { return s.n }
+
+// MinArrival implements Scheduler.
+func (s *Deadline) MinArrival() (simclock.Duration, bool) {
+	r := s.h.peek()
+	if r == nil {
+		return 0, false
+	}
+	return r.Arrival, true
 }
 
 // NewScheduler builds a scheduler by policy name; it is the factory the

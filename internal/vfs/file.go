@@ -118,6 +118,41 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	return f.readAt(p, off, true)
 }
 
+// ReadAtStep begins a resumable ReadAt: the returned step is either
+// complete or suspended on a queued-device request for the engine to
+// service (see resume.go).
+func (f *File) ReadAtStep(p []byte, off int64) IOStep {
+	return f.readAtStep(p, off, true, ioDone)
+}
+
+// ReadAtMappedStep begins a resumable ReadAtMapped.
+func (f *File) ReadAtMappedStep(p []byte, off int64) IOStep {
+	return f.readAtStep(p, off, false, ioDone)
+}
+
+// ReadStep begins a resumable Read from the current position; the cursor
+// advances when the step completes.
+func (f *File) ReadStep(p []byte) IOStep {
+	return f.readAtStep(p, f.pos, true, func(n int64, err error) IOStep {
+		f.pos += n
+		return ioDone(n, err)
+	})
+}
+
+// WriteAtStep begins a resumable WriteAt.
+func (f *File) WriteAtStep(p []byte, off int64) IOStep {
+	return f.writeAtStep(p, off, ioDone)
+}
+
+// WriteStep begins a resumable Write at the current position; the cursor
+// advances when the step completes.
+func (f *File) WriteStep(p []byte) IOStep {
+	return f.writeAtStep(p, f.pos, func(n int64, err error) IOStep {
+		f.pos += n
+		return ioDone(n, err)
+	})
+}
+
 // ReadAtMapped is ReadAt without the user-space copy charge: the mmap
 // access path the paper points at for reducing the SLEDs CPU penalty ("We
 // used read(), rather than mmap(), which does not copy the data to meet
@@ -129,14 +164,22 @@ func (f *File) ReadAtMapped(p []byte, off int64) (int, error) {
 }
 
 func (f *File) readAt(p []byte, off int64, chargeCopy bool) (int, error) {
+	n, err := mustComplete(f.readAtStep(p, off, chargeCopy, ioDone), "read")
+	return int(n), err
+}
+
+// readAtStep is readAt in resumable form: the per-page loop is an explicit
+// continuation so a page fault suspended on a queued device resumes where
+// it left off.
+func (f *File) readAtStep(p []byte, off int64, chargeCopy bool, done func(n int64, err error) IOStep) IOStep {
 	if f.closed {
-		return 0, ErrClosed
+		return done(0, ErrClosed)
 	}
 	if off < 0 {
-		return 0, fmt.Errorf("vfs: negative read offset %d", off)
+		return done(0, fmt.Errorf("vfs: negative read offset %d", off))
 	}
 	if off >= f.ino.size {
-		return 0, io.EOF
+		return done(0, io.EOF)
 	}
 	want := int64(len(p))
 	if off+want > f.ino.size {
@@ -144,35 +187,41 @@ func (f *File) readAt(p []byte, off int64, chargeCopy bool) (int, error) {
 	}
 	ps := int64(f.k.cfg.PageSize)
 	f.clusterStart, f.clusterEnd = 0, 0
-	var done int64
-	for done < want {
-		cur := off + done
+	var got int64
+	var loop func() IOStep
+	loop = func() IOStep {
+		if got >= want {
+			// Copying from the page cache to the user buffer costs memory
+			// bandwidth (the paper notes read() "copies the data to meet
+			// application alignment criteria", unlike mmap).
+			if chargeCopy {
+				f.chargeMemCopy(got)
+			}
+			f.k.stats.BytesRead += got
+			if got < int64(len(p)) {
+				return done(got, io.EOF)
+			}
+			return done(got, nil)
+		}
+		cur := off + got
 		page := cur / ps
 		inPage := cur % ps
 		n := ps - inPage
-		if n > want-done {
-			n = want - done
+		if n > want-got {
+			n = want - got
 		}
-		data, err := f.ensureResident(page, want-done)
-		if err != nil {
-			// Partial read up to the failed page; EIO surfaces to the app.
-			f.k.stats.BytesRead += done
-			return int(done), err
-		}
-		copy(p[done:done+n], data[inPage:inPage+n])
-		done += n
+		return f.ensureResidentStep(page, want-got, func(data []byte, err error) IOStep {
+			if err != nil {
+				// Partial read up to the failed page; EIO surfaces to the app.
+				f.k.stats.BytesRead += got
+				return done(got, err)
+			}
+			copy(p[got:got+n], data[inPage:inPage+n])
+			got += n
+			return loop()
+		})
 	}
-	// Copying from the page cache to the user buffer costs memory
-	// bandwidth (the paper notes read() "copies the data to meet
-	// application alignment criteria", unlike mmap).
-	if chargeCopy {
-		f.chargeMemCopy(done)
-	}
-	f.k.stats.BytesRead += done
-	if done < int64(len(p)) {
-		return int(done), io.EOF
-	}
-	return int(done), nil
+	return loop()
 }
 
 // ensureResident returns the cached data for a page, faulting it (and, if
@@ -187,20 +236,32 @@ func (f *File) readAt(p []byte, off int64, chargeCopy bool) (int, error) {
 // A device fault is retried per the kernel's RetryPolicy; the returned
 // error (wrapping ErrIO) means the policy gave up.
 func (f *File) ensureResident(page, remaining int64) ([]byte, error) {
+	var out []byte
+	_, err := mustComplete(f.ensureResidentStep(page, remaining, func(data []byte, err error) IOStep {
+		out = data
+		return ioDone(0, err)
+	}), "page fault")
+	return out, err
+}
+
+// ensureResidentStep is ensureResident in resumable form: the cluster
+// computation is synchronous, the device access and the per-page inserts
+// (whose evictions may suspend on write-back) are continuations.
+func (f *File) ensureResidentStep(page, remaining int64, done func(data []byte, err error) IOStep) IOStep {
 	k := f.k
 	key := cache.Key{File: uint64(f.ino.ino), Page: page}
 	if data, ok := k.cache.Get(key); ok {
 		if k.waitIfPending(key) {
 			// Served by an asynchronous prefetch (possibly after waiting
 			// for it to complete); accounted as PrefetchedPages.
-			return data, nil
+			return done(data, nil)
 		}
 		// Pages pulled in by this very request's cluster are not cache
 		// hits in the measured sense; they were faulted moments ago.
 		if page < f.clusterStart || page >= f.clusterEnd {
 			k.stats.CacheHits++
 		}
-		return data, nil
+		return done(data, nil)
 	}
 	k.cache.RecordMiss()
 
@@ -244,81 +305,108 @@ func (f *File) ensureResident(page, remaining int64) ([]byte, error) {
 		}
 	}
 
-	var err error
+	var issue func() error
 	if k.stager != nil && k.stagedDevs[f.ino.dev] {
-		err = k.chargeIO(func() error {
-			return k.deviceAccess(func() error { return k.stager.Fetch(f.ino, start, length) })
-		})
+		issue = func() error { return k.stager.Fetch(f.ino, start, length) }
 	} else {
-		err = k.chargeIO(func() error {
-			return k.deviceAccess(func() error { return device.ReadErr(dev, k.Clock, start, length) })
-		})
+		issue = func() error { return device.ReadErr(dev, k.Clock, start, length) }
 	}
-	if err != nil {
-		return nil, err
-	}
-
-	for q := page; q < page+run; q++ {
-		buf := make([]byte, ps)
-		f.ino.content.ReadPage(q, buf)
-		if err := k.cache.Insert(cache.Key{File: uint64(f.ino.ino), Page: q}, buf, false); err != nil {
-			return nil, err
+	return k.accessStep(issue, func(err error) IOStep {
+		if err != nil {
+			return done(nil, err)
 		}
-	}
-	// Demand-missed pages are hard faults; pure readahead beyond the
-	// requested window is accounted separately.
-	demand := run
-	if demand > wantPages {
-		k.stats.ReadaheadPages += demand - wantPages
-		demand = wantPages
-	}
-	k.stats.Faults += demand
-	f.clusterStart, f.clusterEnd = page, page+run
+		q := page
+		var insertLoop func() IOStep
+		insertLoop = func() IOStep {
+			if q >= page+run {
+				// Demand-missed pages are hard faults; pure readahead beyond
+				// the requested window is accounted separately.
+				demand := run
+				if demand > wantPages {
+					k.stats.ReadaheadPages += demand - wantPages
+					demand = wantPages
+				}
+				k.stats.Faults += demand
+				f.clusterStart, f.clusterEnd = page, page+run
 
-	data, ok := k.cache.Get(key)
-	if !ok {
-		panic("vfs: page vanished immediately after fault") //sledlint:allow panicpath -- cache invariant: the fault path just inserted this page
-	}
-	return data, nil
+				data, ok := k.cache.Get(key)
+				if !ok {
+					panic("vfs: page vanished immediately after fault") //sledlint:allow panicpath -- cache invariant: the fault path just inserted this page
+				}
+				return done(data, nil)
+			}
+			buf := make([]byte, ps)
+			f.ino.content.ReadPage(q, buf)
+			qk := cache.Key{File: uint64(f.ino.ino), Page: q}
+			return k.insertStep(qk, buf, false, func(err error) IOStep {
+				if err != nil {
+					return done(nil, err)
+				}
+				q++
+				return insertLoop()
+			})
+		}
+		return insertLoop()
+	})
 }
 
 // WriteAt writes len(p) bytes at offset off, growing the file as needed.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	n, err := mustComplete(f.writeAtStep(p, off, ioDone), "write")
+	return int(n), err
+}
+
+// writeAtStep is WriteAt in resumable form; the suspension points are the
+// read-modify-write page fault and write-backs of pages its insertions
+// evict.
+func (f *File) writeAtStep(p []byte, off int64, done func(n int64, err error) IOStep) IOStep {
 	if f.closed {
-		return 0, ErrClosed
+		return done(0, ErrClosed)
 	}
 	if off < 0 {
-		return 0, fmt.Errorf("vfs: negative write offset %d", off)
+		return done(0, fmt.Errorf("vfs: negative write offset %d", off))
 	}
 	dev := f.k.Devices.Get(f.ino.dev)
 	if ro, ok := dev.(interface{ ReadOnly() bool }); ok && ro.ReadOnly() {
-		return 0, fmt.Errorf("vfs: %q on %q: %w", f.ino.name, dev.Info().Name, ErrReadOnly)
+		return done(0, fmt.Errorf("vfs: %q on %q: %w", f.ino.name, dev.Info().Name, ErrReadOnly))
 	}
 	if len(p) == 0 {
-		return 0, nil
+		return done(0, nil)
 	}
 	if err := f.k.ensureExtent(f.ino, off+int64(len(p))); err != nil {
-		return 0, err
+		return done(0, err)
 	}
 
 	ps := int64(f.k.cfg.PageSize)
-	var done int64
+	var got int64
 	want := int64(len(p))
-	for done < want {
-		cur := off + done
+	var loop func() IOStep
+	loop = func() IOStep {
+		if got >= want {
+			if off+want > f.ino.size {
+				f.ino.size = off + want
+			}
+			f.chargeMemCopy(want)
+			f.k.stats.BytesWritten += want
+			return done(want, nil)
+		}
+		cur := off + got
 		page := cur / ps
 		inPage := cur % ps
 		n := ps - inPage
-		if n > want-done {
-			n = want - done
+		if n > want-got {
+			n = want - got
 		}
 
 		key := cache.Key{File: uint64(f.ino.ino), Page: page}
 		if data, ok := f.k.cache.Get(key); ok {
 			// Page resident: mutate in place.
-			copy(data[inPage:inPage+n], p[done:done+n])
+			copy(data[inPage:inPage+n], p[got:got+n])
 			f.k.cache.MarkDirty(key)
-		} else if n == ps || cur >= f.ino.size {
+			got += n
+			return loop()
+		}
+		if n == ps || cur >= f.ino.size {
 			// Full-page write, or write entirely beyond current EOF: no
 			// read needed; any EOF gap within the page is zero.
 			buf := make([]byte, ps)
@@ -326,27 +414,27 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 				// Part of this page below cur holds file data: fetch it.
 				f.ino.content.ReadPage(page, buf)
 			}
-			copy(buf[inPage:inPage+n], p[done:done+n])
-			if err := f.k.cache.Insert(key, buf, true); err != nil {
-				return int(done), err
-			}
-		} else {
-			// Partial overwrite of a non-resident page: read-modify-write.
-			data, err := f.ensureResident(page, n)
-			if err != nil {
-				return int(done), err
-			}
-			copy(data[inPage:inPage+n], p[done:done+n])
-			f.k.cache.MarkDirty(key)
+			copy(buf[inPage:inPage+n], p[got:got+n])
+			return f.k.insertStep(key, buf, true, func(err error) IOStep {
+				if err != nil {
+					return done(got, err)
+				}
+				got += n
+				return loop()
+			})
 		}
-		done += n
+		// Partial overwrite of a non-resident page: read-modify-write.
+		return f.ensureResidentStep(page, n, func(data []byte, err error) IOStep {
+			if err != nil {
+				return done(got, err)
+			}
+			copy(data[inPage:inPage+n], p[got:got+n])
+			f.k.cache.MarkDirty(key)
+			got += n
+			return loop()
+		})
 	}
-	if off+want > f.ino.size {
-		f.ino.size = off + want
-	}
-	f.chargeMemCopy(want)
-	f.k.stats.BytesWritten += want
-	return int(want), nil
+	return loop()
 }
 
 // chargeMemCopy accounts the user/kernel copy cost as CPU time.

@@ -192,6 +192,7 @@ func (k *Kernel) Remove(path string) error {
 		// Dropping pages of a deleted file discards dirty data too: the
 		// eviction callback checks the inode table and finds it gone.
 		k.cache.InvalidateFile(uint64(n.ino))
+		k.drainWritebacksSync()
 	}
 	return nil
 }

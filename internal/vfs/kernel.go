@@ -171,6 +171,10 @@ type Kernel struct {
 	// (the sleds table's health feed).
 	faultObs func(*device.Fault)
 
+	// wb queues dirty pages evicted by a cache mutation until the
+	// mutation's drain point writes them back (see resume.go).
+	wb []wbItem
+
 	stats RunStats
 }
 
@@ -275,61 +279,28 @@ func (k *Kernel) ChargeCPUBytes(n int64, bytesPerSec float64) {
 // table's health tracking hooks in here; nil detaches.
 func (k *Kernel) SetFaultObserver(fn func(*device.Fault)) { k.faultObs = fn }
 
-// chargeIO runs fn (a device access) and accounts the elapsed virtual time
-// as I/O wait, with jitter applied on top. The access's error (EIO after
-// the retry policy gave up) is returned unchanged; its failed attempts
-// still cost I/O wait.
-func (k *Kernel) chargeIO(fn func() error) error {
-	before := k.Clock.Now()
-	err := fn()
-	dt := k.Clock.Now() - before
-	if k.jitter != nil && dt > 0 {
-		perturbed := k.jitter.Perturb(dt)
-		if perturbed > dt {
-			k.Clock.Advance(perturbed - dt)
-			dt = perturbed
-		}
-	}
-	k.stats.IOWait += dt
-	return err
-}
-
 // deviceAccess runs one logical device access with the kernel's retry
 // policy: device faults are counted, reported to the fault observer, and
 // retried after capped exponential backoff (in virtual time, charged to
 // the current clock); when the policy gives up the access fails with a
-// wrapped ErrIO. Non-fault errors pass through untouched.
+// wrapped ErrIO. Non-fault errors pass through untouched. This is the
+// synchronous driver of deviceAccessStep (see resume.go).
 func (k *Kernel) deviceAccess(fn func() error) error {
-	pol := k.cfg.Retry.withDefaults()
-	for attempt := 1; ; attempt++ {
-		err := fn()
-		if err == nil {
-			return nil
-		}
-		var f *device.Fault
-		if !errors.As(err, &f) {
-			return err
-		}
-		k.stats.DeviceFaults++
-		if k.faultObs != nil {
-			k.faultObs(f)
-		}
-		if pol.FailFast || attempt >= pol.MaxAttempts {
-			k.stats.EIOs++
-			return fmt.Errorf("vfs: device %d (%s fault, %d attempt(s)): %w", f.Dev, f.Class, attempt, ErrIO)
-		}
-		back := pol.backoffBefore(attempt + 1)
-		k.Clock.Advance(back)
-		k.stats.Retries++
-		k.stats.RetryWait += back
-	}
+	_, err := mustComplete(k.deviceAccessStep(fn, func(err error) IOStep {
+		return ioDone(0, err)
+	}), "device access")
+	return err
 }
 
-// onEvict is the cache's eviction callback: dirty pages are written back
-// to their device. Eviction is asynchronous write-back — there is no one
-// to return an error to — so a write-back that still fails after retries
-// is counted (WritebackEIOs) and the page dropped, as a real kernel's
-// failed async write-back ends up doing.
+// onEvict is the cache's eviction callback: dirty pages are queued for
+// write-back to their device. The queue is drained immediately after the
+// cache mutation that triggered the eviction (insertStep, invalidation),
+// which keeps the write at the same virtual instant as the historical
+// write-during-eviction while letting the engine suspend mid-write-back.
+// Eviction is asynchronous write-back — there is no one to return an error
+// to — so a write-back that still fails after retries is counted
+// (WritebackEIOs) and the page dropped, as a real kernel's failed async
+// write-back ends up doing.
 func (k *Kernel) onEvict(key cache.Key, data []byte, dirty bool) {
 	// An evicted page can no longer be served by its in-flight prefetch.
 	delete(k.pending, key)
@@ -341,27 +312,17 @@ func (k *Kernel) onEvict(key cache.Key, data []byte, dirty bool) {
 		// File deleted with dirty pages still cached; drop them.
 		return
 	}
-	// The error is already accounted in WritebackEIOs.
-	_ = k.writePageToDevice(ino, key.Page, data)
+	k.wb = append(k.wb, wbItem{ino: ino, page: key.Page, data: data})
 }
 
 // writePageToDevice stores page data into the inode's content and charges
-// the device write, with retries per the kernel policy.
+// the device write, with retries per the kernel policy — the synchronous
+// driver of writePageStep, used by sync(2)-family paths.
 func (k *Kernel) writePageToDevice(ino *Inode, page int64, data []byte) error {
-	ino.content.WritePage(page, data)
-	dev := k.Devices.Get(ino.dev)
-	off := ino.extent + page*int64(k.cfg.PageSize)
-	err := k.chargeIO(func() error {
-		return k.deviceAccess(func() error {
-			return device.WriteErr(dev, k.Clock, off, int64(len(data)))
-		})
-	})
-	if err != nil {
-		k.stats.WritebackEIOs++
-		return err
-	}
-	k.stats.PagesWrittenDev++
-	return nil
+	_, err := mustComplete(k.writePageStep(ino, page, data, func(err error) IOStep {
+		return ioDone(0, err)
+	}), "page write-back")
+	return err
 }
 
 // allocExtent reserves size bytes of contiguous space on a device,
@@ -447,12 +408,14 @@ func (k *Kernel) ResetDeviceState() {
 func (k *Kernel) DropCaches() {
 	k.SyncAll()
 	k.pending = nil
-	// Invalidate clean pages file by file.
+	// Invalidate clean pages file by file. SyncAll left nothing dirty, but
+	// drain defensively in case an eviction raced a write-back failure.
 	for _, ino := range k.inodes {
 		if !ino.isDir {
 			k.cache.InvalidateFile(uint64(ino.ino))
 		}
 	}
+	k.drainWritebacksSync()
 }
 
 // SyncAll writes every dirty page back to its device (sync(2)). Pages

@@ -120,7 +120,7 @@ func (k *Kernel) schedulePrefetch(dev device.Device, n *Inode, page, run int64) 
 		buf := make([]byte, ps)
 		n.content.ReadPage(q, buf)
 		key := cache.Key{File: uint64(n.ino), Page: q}
-		if k.cache.Insert(key, buf, false) != nil {
+		if k.insertPage(key, buf, false) != nil {
 			return
 		}
 		k.pending[key] = completion
@@ -161,6 +161,7 @@ func (k *Kernel) InvalidateRange(n *Inode, page, pages int64) {
 	for p := page; p < page+pages; p++ {
 		key := cache.Key{File: uint64(n.ino), Page: p}
 		k.cache.Invalidate(key)
+		k.drainWritebacksSync()
 		delete(k.pending, key)
 	}
 }
