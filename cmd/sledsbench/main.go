@@ -29,6 +29,7 @@ import (
 
 	"sleds/internal/experiments"
 	"sleds/internal/faults"
+	"sleds/internal/trace"
 )
 
 // startProfiles starts the host-side pprof collectors selected by the
@@ -83,7 +84,7 @@ var knownExps = []string{
 	"t2", "t3", "t4", "f3",
 	"f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f15x16",
 	"efind", "egmc", "ehsm", "eremote", "ehints", "etreegrep", "eaccuracy",
-	"econtend", "eloadsled", "efaults", "escale",
+	"econtend", "eloadsled", "efaults", "escale", "etrace",
 	"ablation-policy", "ablation-pickorder", "ablation-refresh",
 	"ablation-readahead", "ablation-mmap", "ablation-zones",
 }
@@ -94,6 +95,7 @@ func main() {
 	runs := flag.Int("runs", 0, "override measured runs per point (0 = configuration default)")
 	workers := flag.Int("workers", 0, "experiment points run in parallel (0 = GOMAXPROCS); output is identical at any value")
 	faultsProfile := flag.String("faults", "off", "deterministic fault-injection profile applied to every device of every machine: off | light | heavy")
+	classesFlag := flag.String("classes", "", "comma-separated workload classes for the etrace experiment (empty = all): "+strings.Join(trace.Classes(), ","))
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
 	list := flag.Bool("list", false, "print the valid experiment ids, one per line, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a host-side CPU profile of the regeneration to this file (pprof)")
@@ -106,10 +108,13 @@ func main() {
 		for _, id := range valid {
 			fmt.Println(id)
 		}
-		// -faults profiles, prefixed so scripts can tell them from
-		// experiment ids.
+		// -faults profiles and -classes workload classes, prefixed so
+		// scripts can tell them from experiment ids.
 		for _, p := range faults.Profiles() {
 			fmt.Println("faults:" + p)
+		}
+		for _, c := range trace.Classes() {
+			fmt.Println("class:" + c)
 		}
 		return
 	}
@@ -143,6 +148,25 @@ func main() {
 	}
 	if *faultsProfile != "off" {
 		cfg.FaultProfile = *faultsProfile
+	}
+	// -classes is validated up front like -exp and -faults: an unknown
+	// workload class is exit 2 with the valid names, not an empty run.
+	knownClasses := map[string]bool{}
+	for _, c := range trace.Classes() {
+		knownClasses[c] = true
+	}
+	var traceClasses []string
+	for _, c := range strings.Split(*classesFlag, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !knownClasses[c] {
+			fmt.Fprintf(os.Stderr, "sledsbench: unknown workload class %q (valid: %s)\n",
+				c, strings.Join(trace.Classes(), ", "))
+			exit(2)
+		}
+		traceClasses = append(traceClasses, c)
 	}
 
 	known := map[string]bool{}
@@ -385,6 +409,20 @@ func main() {
 		writeCSV(f)
 		fmt.Println(f.Render())
 		hostTime("escale", start)
+	}
+	// etrace replays the internal/trace workload zoo over the queued-device
+	// engine. Like escale it measures the extension layer rather than the
+	// paper's claims, so it stays outside "all" (the committed goldens never
+	// include it); select it explicitly, as CI's trace-smoke target does.
+	if want["etrace"] {
+		start := time.Now()
+		r, err := experiments.ETrace(cfg, traceClasses...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: etrace: %v\n", err)
+			exit(1)
+		}
+		fmt.Println(r.Render())
+		hostTime("etrace", start)
 	}
 	for _, abl := range []struct {
 		id string

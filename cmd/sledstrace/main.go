@@ -1,0 +1,208 @@
+// Command sledstrace generates, inspects, and validates I/O trace files
+// in the sledtrace/1 text format (internal/trace).
+//
+// Usage:
+//
+//	sledstrace gen -class olap -seed 7 -o scan.sledtrace   # generate
+//	sledstrace inspect scan.sledtrace                      # summarize
+//	sledstrace validate scan.sledtrace                     # check, exit 1 on bad
+//
+// gen writes to stdout when -o is omitted; inspect and validate read
+// stdin when the path is "-" or omitted. Generation is a pure function of
+// the flags: the same invocation produces byte-identical output anywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sleds/internal/simclock"
+	"sleds/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sledstrace <command> [flags] [file]
+
+commands:
+  gen       generate a trace (writes to -o or stdout)
+  inspect   print a summary of a trace file ("-" or no file = stdin)
+  validate  check a trace file; exit 0 if valid, 1 if not
+  classes   list the workload classes, one per line, with descriptions
+
+run "sledstrace <command> -h" for the command's flags
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "validate":
+		cmdValidate(os.Args[2:])
+	case "classes":
+		for _, c := range trace.Classes() {
+			fmt.Printf("%-8s %s\n", c, trace.ClassDoc(c))
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sledstrace: unknown command %q\n", os.Args[1])
+		usage()
+	}
+}
+
+// fail prints the error and exits with the given code.
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sledstrace: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	class := fs.String("class", "oltp", "workload class (see: sledstrace classes)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	streams := fs.Int("streams", 0, "concurrent streams (0 = class default)")
+	records := fs.Int("records", 0, "records per stream (0 = class default)")
+	fileSize := fs.Int64("file-size", 0, "bytes per file (0 = default)")
+	recLen := fs.Int64("rec-len", 0, "bytes per op (0 = default)")
+	pageSize := fs.Int64("page-size", 0, "offset alignment (0 = default)")
+	interarrival := fs.Duration("interarrival", 0, "mean interarrival within a stream (0 = default)")
+	writeFrac := fs.Float64("write-frac", -1, "write fraction for class mixed (-1 = default)")
+	out := fs.String("o", "", "output file (empty = stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fail(2, "gen takes no positional arguments, got %q", fs.Args())
+	}
+
+	p := trace.DefaultParams(*seed)
+	if *streams > 0 {
+		p.Streams = *streams
+	}
+	if *records > 0 {
+		p.Records = *records
+	}
+	if *fileSize > 0 {
+		p.FileSize = *fileSize
+	}
+	if *recLen > 0 {
+		p.RecLen = *recLen
+	}
+	if *pageSize > 0 {
+		p.PageSize = *pageSize
+	}
+	if *interarrival > 0 {
+		p.Interarrival = simclock.Duration(*interarrival)
+	}
+	if *writeFrac >= 0 {
+		p.WriteFrac = *writeFrac
+	}
+	tr, err := trace.Generate(*class, p)
+	if err != nil {
+		// Unknown classes are a usage error (exit 2, like an unknown -exp
+		// id in sledsbench); anything else is a generation failure.
+		code := 1
+		if trace.ClassDoc(*class) == "" {
+			code = 2
+		}
+		fail(code, "%v", err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Encode(w, tr); err != nil {
+		fail(1, "%v", err)
+	}
+}
+
+// open returns the input reader for inspect/validate: the named file, or
+// stdin for "-" or no argument.
+func open(fs *flag.FlagSet) io.ReadCloser {
+	switch fs.NArg() {
+	case 0:
+		return os.Stdin
+	case 1:
+		if fs.Arg(0) == "-" {
+			return os.Stdin
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		return f
+	default:
+		fail(2, "want one trace file, got %q", fs.Args())
+		panic("unreachable")
+	}
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	fs.Parse(args)
+	r := open(fs)
+	defer r.Close()
+	tr, err := trace.Decode(r)
+	if err != nil {
+		fail(1, "%v", err)
+	}
+	fmt.Printf("format: sledtrace/%d\n", trace.Version)
+	fmt.Printf("files: %d\n", len(tr.Files))
+	var total int64
+	for i, f := range tr.Files {
+		fmt.Printf("  f%d: %d bytes\n", i, f.Size)
+		total += f.Size
+	}
+	fmt.Printf("total file bytes: %d\n", total)
+	fmt.Printf("records: %d\n", len(tr.Records))
+	var reads, writes int
+	var bytes int64
+	for _, rec := range tr.Records {
+		if rec.Op == trace.OpWrite {
+			writes++
+		} else {
+			reads++
+		}
+		bytes += rec.Len
+	}
+	fmt.Printf("  reads: %d, writes: %d, op bytes: %d\n", reads, writes, bytes)
+	first, last := tr.Span()
+	fmt.Printf("span: %v .. %v\n", time.Duration(first), time.Duration(last))
+	idx := tr.Index()
+	fmt.Printf("streams: %d\n", len(idx.Streams()))
+	for i, id := range idx.Streams() {
+		fmt.Printf("  s%d: %d records\n", id, len(idx.Records(i)))
+	}
+}
+
+func cmdValidate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "print nothing; report by exit status only")
+	fs.Parse(args)
+	r := open(fs)
+	defer r.Close()
+	tr, err := trace.Decode(r)
+	if err != nil {
+		if *quiet {
+			os.Exit(1)
+		}
+		fail(1, "invalid: %v", err)
+	}
+	if !*quiet {
+		fmt.Printf("valid: %d files, %d records, %d streams\n",
+			len(tr.Files), len(tr.Records), len(tr.Streams()))
+	}
+}

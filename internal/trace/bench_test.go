@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkZipfSample pins the sampler's hot path: one binary search per
+// draw, zero allocations (the cumulative table is built once at
+// construction). bench-compare gates allocs/op via the BENCH_7.json
+// snapshot.
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(1<<16, 1.1)
+	r := NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Sample(r)
+	}
+	_ = sink
+}
+
+// benchTrace builds a mid-size generated trace once per benchmark.
+func benchTrace(b *testing.B) *Trace {
+	b.Helper()
+	p := DefaultParams(1)
+	p.Streams, p.Records = 16, 256
+	tr, err := Generate("mixed", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkRecordIteration pins the replay-compile steady state: walking
+// every record of every stream through a built StreamIndex allocates
+// nothing.
+func BenchmarkRecordIteration(b *testing.B) {
+	tr := benchTrace(b)
+	idx := tr.Index()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for si := range idx.Streams() {
+			for _, ri := range idx.Records(si) {
+				sink += tr.Records[ri].Off
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkReplayCompile measures the per-replay setup cost: building the
+// stream index over a 4096-record trace.
+func BenchmarkReplayCompile(b *testing.B) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := tr.Index()
+		if len(idx.Streams()) != 16 {
+			b.Fatal("bad index")
+		}
+	}
+}
+
+// BenchmarkGenerateMixed measures whole-trace generation of the heaviest
+// class (Zipf sampling plus the write coin per record).
+func BenchmarkGenerateMixed(b *testing.B) {
+	p := DefaultParams(1)
+	p.Streams, p.Records = 16, 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate("mixed", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeDecode round-trips the benchmark trace through the text
+// codec.
+func BenchmarkEncodeDecode(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Encode(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

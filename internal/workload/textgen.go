@@ -1,5 +1,7 @@
 package workload
 
+import "fmt"
+
 // Deterministic pseudo-text generation. Each page is generated
 // independently from (seed, page) with a splitmix64 stream, so any page
 // can be produced in O(pageSize) without generating its predecessors —
@@ -81,15 +83,33 @@ func MatchLine(needle string, width int) []byte {
 	return line
 }
 
-// PlantMatch splices a line containing needle so that it covers byte
-// offset off (clamped so the line fits inside the content).
-func PlantMatch(c *Content, off int64, needle string) {
-	const width = 64
-	if off > c.Size()-int64(width) {
-		off = c.Size() - int64(width)
+// matchLineWidth is the fixed width of a planted match line.
+const matchLineWidth = 64
+
+// TryPlantMatch splices a line containing needle so that it covers byte
+// offset off, clamping off so the line fits inside the content. It
+// returns an error when the content is too small to hold a whole match
+// line at all (under matchLineWidth bytes), or when the clamped splice
+// overlaps a previously planted line.
+func TryPlantMatch(c *Content, off int64, needle string) error {
+	if c.Size() < matchLineWidth {
+		return fmt.Errorf("workload: content of %d bytes cannot hold a %d-byte match line", c.Size(), matchLineWidth)
+	}
+	if off > c.Size()-matchLineWidth {
+		off = c.Size() - matchLineWidth
 	}
 	if off < 0 {
 		off = 0
 	}
-	c.InsertAt(off, MatchLine(needle, width))
+	return c.TryInsertAt(off, MatchLine(needle, matchLineWidth))
+}
+
+// PlantMatch is TryPlantMatch for experiment driver code: a file too
+// small for a match line or an overlapping plant is a programming error
+// in the experiment's geometry, so it panics with TryPlantMatch's error
+// instead of returning it.
+func PlantMatch(c *Content, off int64, needle string) {
+	if err := TryPlantMatch(c, off, needle); err != nil {
+		panic(err.Error())
+	}
 }

@@ -96,22 +96,35 @@ func (c *Content) Resize(size int64) {
 	}
 }
 
-// InsertAt splices data over the base content at byte offset off. Splices
-// may not extend past the current size and may not overlap an existing
-// fragment (the workloads plant disjoint match lines).
-func (c *Content) InsertAt(off int64, data []byte) {
+// TryInsertAt splices data over the base content at byte offset off.
+// Splices may not extend past the current size and may not overlap an
+// existing fragment (the workloads plant disjoint match lines); violating
+// either bound returns a descriptive error and leaves the content
+// unchanged.
+func (c *Content) TryInsertAt(off int64, data []byte) error {
 	if off < 0 || off+int64(len(data)) > c.size {
-		panic(fmt.Sprintf("workload: splice [%d,%d) outside [0,%d)", off, off+int64(len(data)), c.size))
+		return fmt.Errorf("workload: splice [%d,%d) outside [0,%d)", off, off+int64(len(data)), c.size)
 	}
 	for _, f := range c.frags {
 		if off < f.off+int64(len(f.data)) && f.off < off+int64(len(data)) {
-			panic(fmt.Sprintf("workload: splice at %d overlaps fragment at %d", off, f.off))
+			return fmt.Errorf("workload: splice at %d overlaps fragment at %d", off, f.off)
 		}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	c.frags = append(c.frags, fragment{off: off, data: cp})
 	sort.Slice(c.frags, func(i, j int) bool { return c.frags[i].off < c.frags[j].off })
+	return nil
+}
+
+// InsertAt is TryInsertAt for experiment driver code, where an
+// out-of-range or overlapping splice is a programming error in the
+// experiment's own geometry: it panics with TryInsertAt's error instead
+// of returning it. Callers handling untrusted offsets use TryInsertAt.
+func (c *Content) InsertAt(off int64, data []byte) {
+	if err := c.TryInsertAt(off, data); err != nil {
+		panic(err.Error())
+	}
 }
 
 // ReadPage fills buf (which must be PageSize bytes) with the content of
