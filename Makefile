@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build vet fmt staticcheck lint test race bench bench-smoke bench-json bench-compare scale-smoke determinism faults-smoke trace-smoke ci
+.PHONY: build vet fmt staticcheck lint test race bench bench-smoke bench-json bench-compare scale-smoke determinism faults-smoke trace-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -43,29 +43,29 @@ bench:
 # catches benchmarks that panic or fail setup without paying for stable
 # timings.
 bench-smoke:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace ./internal/fleet
 
-# bench-json regenerates BENCH_7.json, the committed snapshot of the
-# query/cache/iosched/trace microbenchmarks and the root figure
+# bench-json regenerates BENCH_8.json, the committed snapshot of the
+# query/cache/iosched/trace/fleet microbenchmarks and the root figure
 # benchmarks, as a JSON map of benchmark name to ns/op, B/op, allocs/op
 # and ReportMetric figures. Timings vary by machine; the snapshot exists
 # to pin the alloc counts (which bench-compare gates) and record the
 # measured speedups at authoring time. Run it on a bench-suite change
-# and commit the result. BENCH_5.json and BENCH_6.json are the frozen
-# PR-5/PR-6 snapshots; leave them be.
+# and commit the result. BENCH_5.json through BENCH_7.json are the
+# frozen PR-5/PR-6/PR-7 snapshots; leave them be.
 bench-json:
-	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace; \
-	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson > BENCH_7.json
-	@echo "bench-json: wrote BENCH_7.json"
+	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace ./internal/fleet; \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson > BENCH_8.json
+	@echo "bench-json: wrote BENCH_8.json"
 
 # bench-compare reruns the bench-json suite and gates it against the
-# committed BENCH_7.json snapshot: every benchmark in the snapshot must
+# committed BENCH_8.json snapshot: every benchmark in the snapshot must
 # still exist, and allocs/op may not grow more than 25%. Only alloc
 # counts are gated — they are deterministic for these workloads, while
 # ns/op on shared CI runners is noise.
 bench-compare:
-	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace; \
-	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson -compare BENCH_7.json -tolerance 0.25
+	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace ./internal/fleet; \
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson -compare BENCH_8.json -tolerance 0.25
 
 # scale-smoke proves the event-heap engine at full width: the escale
 # experiment (up to 10,000 streams over 24 queued disks, fcfs and sstf)
@@ -111,6 +111,17 @@ trace-smoke:
 	diff /tmp/sledsbench-etrace-w1.txt /tmp/sledsbench-etrace-w4.txt
 	@echo "trace-smoke: etrace replay is byte-identical at 1 and 4 workers"
 
+# fleet-smoke drives the fleet tier end to end: the efleet experiment
+# (3 scenarios x {rr, sled, hedge} over a 4-replica fleet) must complete
+# at quick scale and print byte-identical reports at 1 and 4 workers.
+# efleet is deliberately outside "all" (like escale and etrace), so this
+# is the only place it runs.
+fleet-smoke:
+	$(GO) run ./cmd/sledsbench -scale quick -exp efleet -workers 1 > /tmp/sledsbench-efleet-w1.txt
+	$(GO) run ./cmd/sledsbench -scale quick -exp efleet -workers 4 > /tmp/sledsbench-efleet-w4.txt
+	diff /tmp/sledsbench-efleet-w1.txt /tmp/sledsbench-efleet-w4.txt
+	@echo "fleet-smoke: efleet is byte-identical at 1 and 4 workers"
+
 # faults-smoke drives the fault-injection path end to end: the efaults
 # experiment at quick scale with the heavy profile stacked over every
 # device of every machine. Every injected fault must be retried or
@@ -119,4 +130,4 @@ faults-smoke: vet
 	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy > /dev/null
 	@echo "faults-smoke: efaults completed with heavy injection on every device"
 
-ci: build vet fmt staticcheck lint test race bench-smoke bench-compare scale-smoke determinism faults-smoke trace-smoke
+ci: build vet fmt staticcheck lint test race bench-smoke bench-compare scale-smoke determinism faults-smoke trace-smoke fleet-smoke

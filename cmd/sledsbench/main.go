@@ -84,7 +84,7 @@ var knownExps = []string{
 	"t2", "t3", "t4", "f3",
 	"f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f15x16",
 	"efind", "egmc", "ehsm", "eremote", "ehints", "etreegrep", "eaccuracy",
-	"econtend", "eloadsled", "efaults", "escale", "etrace",
+	"econtend", "eloadsled", "efaults", "escale", "etrace", "efleet",
 	"ablation-policy", "ablation-pickorder", "ablation-refresh",
 	"ablation-readahead", "ablation-mmap", "ablation-zones",
 }
@@ -96,6 +96,7 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment points run in parallel (0 = GOMAXPROCS); output is identical at any value")
 	faultsProfile := flag.String("faults", "off", "deterministic fault-injection profile applied to every device of every machine: off | light | heavy")
 	classesFlag := flag.String("classes", "", "comma-separated workload classes for the etrace experiment (empty = all): "+strings.Join(trace.Classes(), ","))
+	fleetFlag := flag.Int("fleet", 0, "replica count for the efleet experiment (0 = default 4)")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
 	list := flag.Bool("list", false, "print the valid experiment ids, one per line, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a host-side CPU profile of the regeneration to this file (pprof)")
@@ -423,6 +424,22 @@ func main() {
 		}
 		fmt.Println(r.Render())
 		hostTime("etrace", start)
+	}
+	// efleet drives the fleet tier (internal/fleet): SLED-guided replica
+	// selection with hedging, failover, and degradation, against blind
+	// round-robin, under three fleet scenarios. Like escale and etrace it
+	// measures the extension layer rather than the paper's claims, so it
+	// stays outside "all" (the committed goldens never include it); select
+	// it explicitly, as CI's fleet-smoke target does.
+	if want["efleet"] {
+		start := time.Now()
+		r, err := experiments.EFleet(cfg, *fleetFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sledsbench: efleet: %v\n", err)
+			exit(1)
+		}
+		fmt.Println(r.Render())
+		hostTime("efleet", start)
 	}
 	for _, abl := range []struct {
 		id string

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"testing"
+
+	"sleds/internal/iosched"
+	"sleds/internal/simclock"
+)
+
+// BenchmarkSelect measures the hot selector path: four QueryAppend-based
+// estimates plus the partition/probe logic, on reused scratch — the
+// per-read client-side overhead of SLED-guided routing.
+func BenchmarkSelect(b *testing.B) {
+	fx := newFleet(b, DefaultConfig(), 64*testPage)
+	now := fx.k.Clock.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.f.Select(0, 4*testPage, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadProgram measures one complete logical read through the
+// Read state machine under RunProgram (no engine: every access completes
+// in place), per policy.
+func BenchmarkReadProgram(b *testing.B) {
+	for _, pol := range []Policy{PolicyRR, PolicySLED} {
+		b.Run(pol.String(), func(b *testing.B) {
+			fx := newFleet(b, DefaultConfig(), 64*testPage)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var out Read
+				if err := iosched.RunProgram(fx.k, fx.f.ReadProgram(pol, 0, 4*testPage, &out)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineHedgedReads measures engine-driven hedged reads: 64
+// streams, one hedged read each, across the queued replica fleet.
+func BenchmarkEngineHedgedReads(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fx := newFleet(b, DefaultConfig(), 64*testPage)
+		e := engineFor(fx)
+		outs := make([]Read, 64)
+		for s := range outs {
+			off := int64(s%16) * 4 * testPage
+			e.AddStream(simclock.Duration(s)*simclock.Millisecond,
+				fx.f.ReadProgram(PolicySLEDHedge, off, 4*testPage, &outs[s]))
+		}
+		b.StartTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

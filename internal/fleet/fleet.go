@@ -1,0 +1,240 @@
+// Package fleet scales the remote tier out: N replicated file servers —
+// each a remote.Server with its own disk, memory, and buffer cache —
+// behind one client-side selector that picks a replica per read using the
+// same SLED estimates the paper's FSLEDS_GET reports for local devices.
+//
+// Each replica registers one characterization device with the client
+// kernel ("fleet/r0", "fleet/r1", ...), calibrated by lmbench like any
+// other level. Per read the client queries every candidate replica
+// (core.QueryAppend against the replica's copy of the file), folds in
+// what the replica's server cache holds right now, and routes to the
+// cheapest estimate. Load (queue depth under an iosched engine) and
+// health (decaying fault penalties from core.Table.ObserveFault) steer
+// the choice exactly as they steer local SLED queries; when every
+// replica's confidence has collapsed below the floor the selector falls
+// back to a confidence-weighted choice instead of trusting any single
+// estimate.
+//
+// On top of selection the package layers the paper's latency-management
+// toolkit for a fleet:
+//
+//   - Hedged reads: a virtual-time hedge deadline derived from the SLED
+//     estimate arms a second-best replica; the first completion wins and
+//     the loser is cancelled (iosched.HedgedDevRead).
+//   - Failover: per-replica retry budgets with capped, doubling
+//     virtual-time backoff; a faulted attempt feeds ObserveFault so the
+//     next selection already routes around the replica.
+//   - Graceful degradation: replicas whose confidence falls below the
+//     floor are demoted out of the candidate set and probed back with a
+//     bounded fraction of traffic, so a recovered server earns its
+//     traffic back within a bounded number of probes.
+//
+// Everything runs in virtual time off deterministic state: selections,
+// hedges, and backoffs are byte-identical across runs and worker counts.
+package fleet
+
+import (
+	"fmt"
+
+	"sleds/internal/core"
+	"sleds/internal/device"
+	"sleds/internal/remote"
+	"sleds/internal/simclock"
+	"sleds/internal/vfs"
+	"sleds/internal/workload"
+)
+
+// RetryConfig bounds failover for one logical read: each replica may be
+// tried at most MaxAttempts times, with a doubling backoff between
+// attempts capped at BackoffCap.
+type RetryConfig struct {
+	MaxAttempts int
+	Backoff     simclock.Duration
+	BackoffCap  simclock.Duration
+}
+
+// Config parameterises a fleet.
+type Config struct {
+	// Replicas is the number of servers (>= 1).
+	Replicas int
+	// Server configures every replica's server (disk, memory, cache,
+	// RTT, wire). ServerDisk.ID and Name are overwritten per replica.
+	Server remote.Config
+	// ConfidenceFloor demotes a replica from the candidate set when the
+	// confidence of its estimate falls below it.
+	ConfidenceFloor float64
+	// ProbeEvery routes every ProbeEvery-th selection to a demoted
+	// replica (round-robin among them), so a recovered server is
+	// rediscovered within a bounded number of selections.
+	ProbeEvery int
+	// HedgeMult scales the primary's estimated latency into the hedge
+	// deadline; MinHedgeDelay floors it.
+	HedgeMult     float64
+	MinHedgeDelay simclock.Duration
+	// Retry bounds failover per logical read.
+	Retry RetryConfig
+}
+
+// DefaultConfig returns a four-replica fleet of DefaultConfig servers
+// with hedging at 3x the estimate and a two-attempt retry budget.
+func DefaultConfig() Config {
+	return Config{
+		Replicas:        4,
+		Server:          remote.DefaultConfig(),
+		ConfidenceFloor: 0.5,
+		ProbeEvery:      16,
+		HedgeMult:       3,
+		MinHedgeDelay:   2 * simclock.Millisecond,
+		Retry: RetryConfig{
+			MaxAttempts: 2,
+			Backoff:     5 * simclock.Millisecond,
+			BackoffCap:  80 * simclock.Millisecond,
+		},
+	}
+}
+
+// Replica is one server of the fleet and its client-side bookkeeping.
+type Replica struct {
+	Dev device.ID // the replica's registered characterization device
+
+	srv   *remote.Server
+	inode *vfs.Inode // this replica's copy of the replicated file
+
+	// Cumulative counters, maintained by the selector and Read driver.
+	Issued int64 // reads issued with this replica as primary
+	Faults int64 // completions that surfaced a fault from this replica
+	Probes int64 // selections that were probes of this (demoted) replica
+}
+
+// Server exposes the replica's server for inspection and fault injection
+// (remote.Server.ReplaceDisk stacks an injector under the replica).
+func (r *Replica) Server() *remote.Server { return r.srv }
+
+// Inode returns the replica's copy of the replicated file (nil before
+// CreateFile).
+func (r *Replica) Inode() *vfs.Inode { return r.inode }
+
+// Fleet is the client-side view of the replicated remote tier.
+type Fleet struct {
+	k   *vfs.Kernel
+	cfg Config
+	tab *core.Table
+
+	replicas []*Replica
+	pageSize int64
+
+	picks   int64 // total selections, drives the probe cadence
+	probeRR int   // round-robin cursor over demoted replicas
+	rr      int   // round-robin cursor for PolicyRR
+
+	scratch []core.SLED // QueryAppend scratch, reused across estimates
+	ests    []estimate  // per-replica scratch for Select
+}
+
+// New attaches cfg.Replicas replica devices to the client kernel and
+// returns the fleet. Call SetTable after calibration, then CreateFile.
+func New(k *vfs.Kernel, cfg Config) (*Fleet, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("fleet: %d replicas", cfg.Replicas)
+	}
+	if cfg.ConfidenceFloor < 0 || cfg.ConfidenceFloor > 1 {
+		return nil, fmt.Errorf("fleet: confidence floor %v outside [0,1]", cfg.ConfidenceFloor)
+	}
+	if cfg.HedgeMult <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive hedge multiplier %v", cfg.HedgeMult)
+	}
+	if cfg.Retry.MaxAttempts < 1 {
+		return nil, fmt.Errorf("fleet: retry budget of %d attempts", cfg.Retry.MaxAttempts)
+	}
+	f := &Fleet{
+		k:        k,
+		cfg:      cfg,
+		pageSize: int64(k.PageSize()),
+		replicas: make([]*Replica, cfg.Replicas),
+		ests:     make([]estimate, cfg.Replicas),
+	}
+	for i := range f.replicas {
+		srvCfg := cfg.Server
+		srvCfg.ServerDisk.ID = device.ID(k.Devices.Len())
+		srvCfg.ServerDisk.Name = fmt.Sprintf("fleet/r%d", i)
+		srv, err := remote.NewServer(srvCfg, f.pageSize)
+		if err != nil {
+			return nil, err
+		}
+		rd := &replicaDev{srv: srv, id: srvCfg.ServerDisk.ID, name: srvCfg.ServerDisk.Name, size: srvCfg.ServerDisk.Size}
+		id := k.AttachDevice(rd)
+		f.replicas[i] = &Replica{Dev: id, srv: srv}
+	}
+	return f, nil
+}
+
+// Replicas reports the fleet size.
+func (f *Fleet) Replicas() int { return len(f.replicas) }
+
+// Replica returns replica i.
+func (f *Fleet) Replica(i int) *Replica { return f.replicas[i] }
+
+// SetTable attaches the calibrated sleds table the selector estimates
+// from (and feeds fault observations into).
+func (f *Fleet) SetTable(tab *core.Table) { f.tab = tab }
+
+// Table returns the attached sleds table (nil before SetTable).
+func (f *Fleet) Table() *core.Table { return f.tab }
+
+// CreateFile creates one copy of the replicated file per replica —
+// path.r0, path.r1, ... on the respective replica devices, identical
+// content from the seed — and remembers the inodes for estimates and
+// reads. Size must be a multiple of the page size.
+func (f *Fleet) CreateFile(path string, seed uint64, size int64) error {
+	for i, r := range f.replicas {
+		n, err := f.k.Create(fmt.Sprintf("%s.r%d", path, i), r.Dev, workload.NewText(seed, size, int(f.pageSize)))
+		if err != nil {
+			return err
+		}
+		r.inode = n
+	}
+	return nil
+}
+
+// replicaDev is the registered characterization device of one replica.
+// The infallible Read is the calibration cost model (RTT + server disk +
+// wire, never warming the server cache — the lmbench contract); the
+// fallible ReadErr is the data path (the server's cache-aware
+// read-through). Client reads issued through an iosched queue dispatch
+// via ReadErr, so they feel the server cache; calibration via Read does
+// not. Writes go synchronously to the server disk either way.
+type replicaDev struct {
+	srv  *remote.Server
+	id   device.ID
+	name string
+	size int64
+}
+
+func (d *replicaDev) Info() device.Info {
+	return device.Info{ID: d.id, Name: d.name, Level: device.LevelNFS, Size: d.size}
+}
+
+// Read charges the calibration cost model without touching the cache.
+func (d *replicaDev) Read(c *simclock.Clock, off, n int64) {
+	_ = d.srv.ReadFresh(c, off, n)
+}
+
+// ReadErr is the data path: the server's cache-aware read-through, with
+// the package remote abort-cost contract on a server-disk fault.
+func (d *replicaDev) ReadErr(c *simclock.Clock, off, n int64) error {
+	return d.srv.ReadThrough(c, off, n)
+}
+
+// Write charges a synchronous remote write through the infallible path.
+func (d *replicaDev) Write(c *simclock.Clock, off, n int64) {
+	_ = d.srv.WriteThrough(c, off, n)
+}
+
+// WriteErr implements device.FallibleDevice for writes.
+func (d *replicaDev) WriteErr(c *simclock.Clock, off, n int64) error {
+	return d.srv.WriteThrough(c, off, n)
+}
+
+// Reset discards the server disk's mechanical state (between-trials
+// contract; the server cache, like the client cache, survives Reset).
+func (d *replicaDev) Reset() { d.srv.ResetDisk() }

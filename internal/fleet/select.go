@@ -1,0 +1,244 @@
+package fleet
+
+import (
+	"fmt"
+
+	"sleds/internal/core"
+	"sleds/internal/simclock"
+)
+
+// estimate is one replica's candidacy for a read: the expected delivery
+// time in seconds and the confidence FSLEDS_GET stamped on the estimate.
+type estimate struct {
+	sec  float64
+	conf float64
+	ok   bool // false when the replica is excluded (budget exhausted)
+}
+
+// Selection is the selector's verdict for one read.
+type Selection struct {
+	// Primary is the replica index to issue the read against; Secondary
+	// is the hedge target (-1 when no second candidate exists).
+	Primary, Secondary int
+	// HedgeDelay is the virtual-time hedge deadline derived from the
+	// SLED estimate: HedgeMult x the expected delivery of the baseline
+	// candidate, floored at MinHedgeDelay.
+	HedgeDelay simclock.Duration
+	// Probe marks a selection that deliberately routed to a demoted
+	// replica to rediscover it.
+	Probe bool
+	// Degraded marks a selection made with every candidate below the
+	// confidence floor (the confidence-weighted fallback).
+	Degraded bool
+	// Est and Conf are the primary's estimated delivery (seconds) and
+	// confidence.
+	Est, Conf float64
+}
+
+// estimateReplica computes the expected delivery time of reading
+// [off, off+n) of the replicated file from replica r at virtual time now.
+//
+// The base comes from the replica's SLED vector (core.QueryAppend on the
+// replica's copy of the file): first-overlap latency — with queue depth,
+// in-flight remainder, and decayed fault penalty already folded in by the
+// table — plus the transfer time of the overlapping bytes at each
+// region's bandwidth. Confidence is the minimum over the overlapping
+// SLEDs, i.e. exactly what FSLEDS_GET reports to an application.
+//
+// On top of the SLED base the client folds in what it knows of the
+// replica's server cache: the server-cached fraction of the region skips
+// the server disk's positioning, so the base sheds that fraction of the
+// device's unloaded service latency down to the wire RTT. Queue wait,
+// health penalty, and transfer time are unaffected — a cached byte still
+// waits in the same queue and crosses the same wire.
+func (f *Fleet) estimateReplica(r *Replica, off, n int64, now simclock.Duration) (estimate, error) {
+	sleds, err := core.QueryAppend(f.scratch, f.k, f.tab, r.inode)
+	if err != nil {
+		return estimate{}, err
+	}
+	f.scratch = sleds
+	end := off + n
+	var sec, conf float64
+	conf = 1
+	first := true
+	for i := range sleds {
+		s := &sleds[i]
+		if s.End() <= off || s.Offset >= end {
+			continue
+		}
+		lo, hi := s.Offset, s.End()
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		if first {
+			sec += s.Latency
+			first = false
+		}
+		if s.Bandwidth > 0 {
+			sec += float64(hi-lo) / s.Bandwidth
+		}
+		if s.Confidence < conf {
+			conf = s.Confidence
+		}
+	}
+	if first {
+		return estimate{}, fmt.Errorf("fleet: read [%d,%d) outside the replicated file", off, end)
+	}
+	// Server-cache adjustment: the cached fraction of the region avoids
+	// the disk's unloaded service latency, paying only the wire RTT.
+	if cached := r.srv.CachedBytes(r.inode.Extent()+off, n); cached > 0 {
+		if e, ok := f.tab.Device(r.Dev); ok {
+			rttSec := f.cfg.Server.RTT.Seconds()
+			if save := e.Latency - rttSec; save > 0 {
+				sec -= float64(cached) / float64(n) * save
+				if sec < rttSec {
+					sec = rttSec
+				}
+			}
+		}
+	}
+	return estimate{sec: sec, conf: conf, ok: true}, nil
+}
+
+// Select picks the replica(s) for one read of [off, off+n) at virtual
+// time now, consulting every replica's SLED estimate. See selectFrom for
+// the policy; Select considers all replicas eligible.
+func (f *Fleet) Select(off, n int64, now simclock.Duration) (Selection, error) {
+	return f.selectFrom(nil, off, n, now)
+}
+
+// selectFrom is Select restricted to replicas i with eligible[i] (nil
+// means all) — the Read driver excludes replicas whose retry budget for
+// the current read is spent.
+//
+// Policy: replicas at or above the confidence floor compete on estimated
+// delivery; the cheapest wins, the runner-up becomes the hedge target.
+// When every eligible replica is below the floor no estimate is worth
+// trusting outright, so the fallback weights estimates by confidence
+// (score = est/conf) — a barely-degraded replica with a good estimate
+// beats a collapsed one with a suspiciously cheap number. Every
+// ProbeEvery-th selection with demotions outstanding routes to a demoted
+// replica (round-robin) instead, keeping the hedge on the best healthy
+// candidate, so a recovered server is rediscovered within a bounded
+// number of selections. All tie-breaks are by ascending replica index:
+// selection is a pure function of (estimates, pick counter), so
+// schedules are deterministic.
+func (f *Fleet) selectFrom(eligible []bool, off, n int64, now simclock.Duration) (Selection, error) {
+	nr := len(f.replicas)
+	anyEligible := false
+	for i, r := range f.replicas {
+		if eligible != nil && !eligible[i] {
+			f.ests[i] = estimate{}
+			continue
+		}
+		est, err := f.estimateReplica(r, off, n, now)
+		if err != nil {
+			return Selection{}, err
+		}
+		f.ests[i] = est
+		anyEligible = true
+	}
+	if !anyEligible {
+		return Selection{}, fmt.Errorf("fleet: no eligible replica")
+	}
+	floor := f.cfg.ConfidenceFloor
+
+	// Partition: healthy replicas compete on est; if none, everyone
+	// competes on est/conf.
+	best, second := -1, -1
+	healthyCount := 0
+	for i := 0; i < nr; i++ {
+		if f.ests[i].ok && f.ests[i].conf >= floor {
+			healthyCount++
+		}
+	}
+	degraded := healthyCount == 0
+	score := func(i int) float64 {
+		if !degraded {
+			return f.ests[i].sec
+		}
+		c := f.ests[i].conf
+		if c < 1e-9 {
+			c = 1e-9
+		}
+		return f.ests[i].sec / c
+	}
+	inPool := func(i int) bool {
+		if !f.ests[i].ok {
+			return false
+		}
+		return degraded || f.ests[i].conf >= floor
+	}
+	for i := 0; i < nr; i++ {
+		if !inPool(i) {
+			continue
+		}
+		switch {
+		case best < 0 || score(i) < score(best):
+			second = best
+			best = i
+		case second < 0 || score(i) < score(second):
+			second = i
+		}
+	}
+
+	sel := Selection{Primary: best, Secondary: second, Degraded: degraded}
+	f.picks++
+
+	// Probe cadence: divert this pick to a demoted replica when due.
+	if !degraded && healthyCount < nr && f.cfg.ProbeEvery > 0 && f.picks%int64(f.cfg.ProbeEvery) == 0 {
+		k := f.probeRR
+		f.probeRR++
+		demotedIdx := -1
+		seen := 0
+		for i := 0; i < nr; i++ {
+			if f.ests[i].ok && f.ests[i].conf < floor {
+				if seen == k%countDemoted(f.ests, floor) {
+					demotedIdx = i
+					break
+				}
+				seen++
+			}
+		}
+		if demotedIdx >= 0 {
+			sel.Secondary = sel.Primary // hedge covers the probe
+			sel.Primary = demotedIdx
+			sel.Probe = true
+			f.replicas[demotedIdx].Probes++
+		}
+	}
+
+	sel.Est = f.ests[sel.Primary].sec
+	sel.Conf = f.ests[sel.Primary].conf
+
+	// Hedge deadline from the baseline candidate: the primary's estimate
+	// normally, the healthy secondary's when the primary is a probe (the
+	// probe's own estimate carries the penalty being probed).
+	base := sel.Est
+	if sel.Probe && sel.Secondary >= 0 {
+		base = f.ests[sel.Secondary].sec
+	}
+	delay := simclock.Duration(f.cfg.HedgeMult * base * float64(simclock.Second))
+	if delay < f.cfg.MinHedgeDelay {
+		delay = f.cfg.MinHedgeDelay
+	}
+	sel.HedgeDelay = delay
+	return sel, nil
+}
+
+// countDemoted counts eligible replicas below the floor.
+func countDemoted(ests []estimate, floor float64) int {
+	n := 0
+	for i := range ests {
+		if ests[i].ok && ests[i].conf < floor {
+			n++
+		}
+	}
+	if n == 0 {
+		return 1 // never used as a modulus when no demotions exist
+	}
+	return n
+}

@@ -72,9 +72,23 @@ type stream struct {
 	wakeAt simclock.Duration // next resume time while unstarted/sleeping
 	cont   vfs.IOStep        // the suspended operation, valid when blocked
 	req    *Request          // the queued/in-flight request, valid when blocked
+	hedge  *hedgeState       // the in-progress hedged read, valid when blocked on one
 	res    Result            // outcome fed to the next Step call
 	finish simclock.Duration // clock at completion, valid when done
 	err    error
+}
+
+// hedgeState is a Program stream's in-progress hedged read (the HedgedDev-
+// Read op): the primary request, the standby secondary target, and — once
+// the virtual-time deadline fires — the secondary request racing the
+// primary. The first completion wins; settleHedge cancels the loser.
+type hedgeState struct {
+	primary      *Request
+	secondaryDev device.ID
+	secOff       int64 // the secondary's device offset (replicas may differ)
+	length       int64
+	secondary    *Request // non-nil once the deadline fired
+	fired        bool
 }
 
 // bridgeEvent is what a running fn stream reports back to the engine when
@@ -102,6 +116,12 @@ type devQueue struct {
 	lastPos      int64             // offset one past the last serviced request
 	dispatchUp   bool              // a dispatch event for this device is live on the heap
 	dispatchAt   simclock.Duration // the live dispatch event's time, valid when dispatchUp
+
+	// cancelledQueued counts requests cancelled while still queued (hedge
+	// losers). They stay in the scheduler until a dispatch surfaces and
+	// drops them, so QueueDepth subtracts them to keep load estimates
+	// honest.
+	cancelledQueued int
 }
 
 // Engine coordinates streams and device queues over one shared kernel.
@@ -118,6 +138,10 @@ type Engine struct {
 	base    simclock.Duration
 	pending *Request // handoff from QueuedDevice.submit to the op loop
 	events  uint64   // events processed across all Runs, for benchmarks
+
+	// orphanObs, when set, observes cancelled hedge losers that completed
+	// with an error after losing the race (see SetOrphanObserver).
+	orphanObs func(dev device.ID, err error, at simclock.Duration)
 }
 
 // NewEngine returns an engine over the kernel's devices. Wrap devices with
@@ -193,6 +217,23 @@ func (e *Engine) AddStreamFunc(start simclock.Duration, fn func(h *Handle) error
 	return id
 }
 
+// SetOrphanObserver registers a callback for faults surfaced by cancelled
+// hedge losers: a loser already being serviced when the race settled
+// completes unclaimed, and if that completion carries an error no stream
+// ever sees it — the winner masked it. Real clients still log the late
+// RPC failure, and health accounting wants it (a degraded replica that
+// always loses its races would otherwise never be demoted). The observer
+// runs at the loser's completion instant. Losers dropped while still
+// queued were never sent, so they are not reported.
+//
+//sledlint:allow panicpath -- setup-phase API misuse, before any simulated I/O runs
+func (e *Engine) SetOrphanObserver(fn func(dev device.ID, err error, at simclock.Duration)) {
+	if e.running {
+		panic("iosched: SetOrphanObserver called while running")
+	}
+	e.orphanObs = fn
+}
+
 // Run executes all streams to completion in deterministic virtual-time
 // order and returns the first error by stream ID. The kernel's clock is
 // advanced to the latest stream finish time before returning, and the
@@ -215,6 +256,7 @@ func (e *Engine) Run() error {
 		dq.busy = false
 		dq.inflight = nil
 		dq.dispatchUp = false
+		dq.cancelledQueued = 0
 	}
 	for _, st := range e.streams {
 		st.clock = simclock.New()
@@ -223,6 +265,7 @@ func (e *Engine) Run() error {
 		st.wakeAt = e.base + st.start
 		st.cont = vfs.IOStep{}
 		st.req = nil
+		st.hedge = nil
 		st.res = Result{}
 		st.err = nil
 		if st.fn != nil {
@@ -237,14 +280,30 @@ func (e *Engine) Run() error {
 		switch ev.kind {
 		case evResume:
 			st := e.streams[ev.stream]
-			if st.state == stateBlocked {
-				e.retire(st)
+			if ev.req != nil {
+				// A completion event: free the device whatever happens to
+				// the stream.
+				e.retireReq(ev.req)
+				if ev.req.cancelled {
+					// A hedge loser: nobody is waiting on it, but a fault it
+					// surfaced is still real — report it to the observer so
+					// health accounting sees failures the race masked.
+					if ev.req.Err != nil && e.orphanObs != nil {
+						e.orphanObs(ev.req.Dev, ev.req.Err, ev.time)
+					}
+					continue
+				}
+				if st.hedge != nil {
+					e.settleHedge(st, ev.req)
+				}
 			}
 			if st.fn != nil {
 				e.runFuncStream(st, ev.time)
 				continue
 			}
 			e.runStream(st, ev.time)
+		case evHedge:
+			e.fireHedge(e.streams[ev.stream], ev.req, ev.time)
 		case evDispatch:
 			dq := e.queues[ev.dev]
 			if !dq.dispatchUp || ev.time != dq.dispatchAt {
@@ -276,18 +335,68 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// retire returns the stream's completed request's device to idle and, if
-// requests are waiting there, queues the next dispatch. The next dispatch
-// lands at the same instant but after every same-instant resume, so a
-// request submitted "now" by a just-resumed stream is visible to the
-// scheduler deciding "now" — as under the goroutine engine.
-func (e *Engine) retire(st *stream) {
-	dq := e.queues[st.req.Dev]
+// retireReq returns a completed request's device to idle and, if requests
+// are waiting there, queues the next dispatch. The next dispatch lands at
+// the same instant but after every same-instant resume, so a request
+// submitted "now" by a just-resumed stream is visible to the scheduler
+// deciding "now" — as under the goroutine engine.
+func (e *Engine) retireReq(r *Request) {
+	dq := e.queues[r.Dev]
 	dq.busy = false
 	dq.free = dq.inflightDone
-	dq.lastPos = dq.inflight.Off + dq.inflight.Length
+	dq.lastPos = r.Off + r.Length
 	dq.inflight = nil
 	e.maybeDispatch(dq)
+}
+
+// settleHedge resolves a stream's hedged read with the request that
+// completed first: the loser (if any) is cancelled — dropped at its next
+// dispatch if still queued, or left to finish as an unclaimed completion
+// if already occupying its device (a real cancellation cannot recall a
+// request the server is servicing) — and the winner's outcome becomes the
+// stream's next Result.
+func (e *Engine) settleHedge(st *stream, winner *Request) {
+	hs := st.hedge
+	loser := hs.secondary
+	if winner != hs.primary {
+		loser = hs.primary
+	}
+	if loser != nil {
+		loser.cancelled = true
+		lq := e.queues[loser.Dev]
+		if lq.inflight != loser {
+			lq.cancelledQueued++
+		}
+	}
+	st.res = Result{Err: winner.Err, Dev: winner.Dev, HedgeFired: hs.fired}
+}
+
+// fireHedge handles a hedge deadline expiring: if the guarded read is
+// still outstanding, the secondary request is submitted to its device with
+// the deadline instant as its arrival. A deadline whose read already
+// completed (or that already fired) is stale and ignored.
+func (e *Engine) fireHedge(st *stream, primary *Request, t simclock.Duration) {
+	hs := st.hedge
+	if hs == nil || hs.primary != primary || hs.fired {
+		return
+	}
+	sq, ok := e.queues[hs.secondaryDev]
+	if !ok {
+		return // unqueued secondary: nothing to race the primary against
+	}
+	r := &Request{
+		Stream:  st.id,
+		Dev:     hs.secondaryDev,
+		Off:     hs.secOff,
+		Length:  hs.length,
+		Arrival: t,
+		seq:     e.seq,
+	}
+	e.seq++
+	hs.fired = true
+	hs.secondary = r
+	sq.sched.Add(r)
+	e.maybeDispatch(sq)
 }
 
 // maybeDispatch queues a dispatch event for an idle device with waiting
@@ -325,14 +434,22 @@ func (e *Engine) runStream(st *stream, t simclock.Duration) {
 	var step vfs.IOStep
 	haveStep := false
 	if st.state == stateBlocked {
-		devErr := st.req.Err
-		st.req = nil
-		cont := st.cont
-		st.cont = vfs.IOStep{}
-		if !e.protect(st, func() { step = cont.Resume(devErr) }) {
-			return
+		if st.hedge != nil {
+			// A hedged read resolved: settleHedge already folded the
+			// winner's outcome into st.res, and there is no kernel
+			// continuation to resume — the hedged access is a raw device
+			// op. Fall through to the next Step call.
+			st.hedge = nil
+		} else {
+			devErr := st.req.Err
+			st.req = nil
+			cont := st.cont
+			st.cont = vfs.IOStep{}
+			if !e.protect(st, func() { step = cont.Resume(devErr) }) {
+				return
+			}
+			haveStep = true
 		}
-		haveStep = true
 	}
 
 	for {
@@ -380,6 +497,37 @@ func (e *Engine) runStream(st *stream, t simclock.Duration) {
 				return
 			}
 			haveStep = true
+		case opHedge:
+			hg := op.hedge
+			if hg.delay < 0 {
+				st.state = stateDone
+				st.finish = st.clock.Now()
+				st.err = fmt.Errorf("iosched: stream %d panicked: iosched: negative hedge delay %v", st.id, hg.delay)
+				return
+			}
+			dq, queued := e.queues[hg.primary]
+			if !queued {
+				// An unqueued primary completes in place (as in deviceStep
+				// outside a queue): nothing to hedge against.
+				err := device.ReadErr(e.k.Devices.Get(hg.primary), st.clock, hg.off, hg.length)
+				st.res = Result{Err: err, Dev: hg.primary}
+				continue
+			}
+			r := &Request{
+				Stream:  st.id,
+				Dev:     hg.primary,
+				Off:     hg.off,
+				Length:  hg.length,
+				Arrival: st.clock.Now(),
+				seq:     e.seq,
+			}
+			e.seq++
+			st.state = stateBlocked
+			st.hedge = &hedgeState{primary: r, secondaryDev: hg.secondary, secOff: hg.secOff, length: hg.length}
+			dq.sched.Add(r)
+			e.maybeDispatch(dq)
+			e.heap.push(engineEvent{time: st.clock.Now() + hg.delay, kind: evHedge, stream: st.id, req: r})
+			return
 		}
 	}
 }
@@ -456,9 +604,27 @@ func (e *Engine) protect(st *stream, fn func()) (ok bool) {
 // occupies the device for the time it cost.
 func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
 	dq.dispatchUp = false
-	r := dq.sched.Pick(t, dq.lastPos)
-	if r == nil {
-		panic("iosched: dispatch with no eligible request") //sledlint:allow panicpath -- Scheduler.Pick contract: a non-idle queue must yield a request
+	var r *Request
+	for {
+		r = dq.sched.Pick(t, dq.lastPos)
+		if r == nil {
+			panic("iosched: dispatch with no eligible request") //sledlint:allow panicpath -- Scheduler.Pick contract: a non-idle queue must yield a request
+		}
+		if !r.cancelled {
+			break
+		}
+		// A hedge loser cancelled while still queued: drop it without
+		// occupying the device. If the drop empties the eligible set, the
+		// remaining arrivals are in the future — let maybeDispatch requeue
+		// at the right instant.
+		dq.cancelledQueued--
+		if dq.sched.Len() == 0 {
+			return
+		}
+		if ta, _ := dq.sched.MinArrival(); ta > t {
+			e.maybeDispatch(dq)
+			return
+		}
 	}
 	dq.clock.AdvanceTo(t)
 	if r.Write {
@@ -469,7 +635,7 @@ func (e *Engine) dispatch(dq *devQueue, t simclock.Duration) {
 	dq.busy = true
 	dq.inflight = r
 	dq.inflightDone = dq.clock.Now()
-	e.heap.push(engineEvent{time: dq.inflightDone, kind: evResume, stream: r.Stream})
+	e.heap.push(engineEvent{time: dq.inflightDone, kind: evResume, stream: r.Stream, req: r})
 }
 
 // submit is called from inside a running stream (via a QueuedDevice) to
@@ -519,13 +685,14 @@ func (e *Engine) FinishTime(id StreamID) simclock.Duration {
 func (e *Engine) Base() simclock.Duration { return e.base }
 
 // QueueDepth implements core.Load: the number of requests waiting (not
-// yet dispatched) at the device. Unqueued devices report 0.
+// yet dispatched) at the device, excluding cancelled hedge losers that
+// will be dropped, not serviced. Unqueued devices report 0.
 func (e *Engine) QueueDepth(id device.ID) int {
 	dq, ok := e.queues[id]
 	if !ok {
 		return 0
 	}
-	return dq.sched.Len()
+	return dq.sched.Len() - dq.cancelledQueued
 }
 
 // InFlightRemaining implements core.Load: the remaining service time of
@@ -621,4 +788,5 @@ func (q *QueuedDevice) Reset() {
 	q.dq.busy = false
 	q.dq.inflight = nil
 	q.dq.free = 0
+	q.dq.cancelledQueued = 0
 }

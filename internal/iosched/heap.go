@@ -6,23 +6,35 @@ import (
 )
 
 // engineEvent is one schedulable occurrence: a stream resume (start, sleep
-// wake, or request completion) or a device dispatch.
+// wake, or request completion), a hedge deadline, or a device dispatch.
+// Completion resumes carry the request that completed (req non-nil), so
+// the engine can tell which of a hedged pair finished and can retire a
+// cancelled loser without touching its stream; hedge events carry the
+// primary request they guard, which is how a deadline that outlived its
+// read is recognised as stale.
 type engineEvent struct {
 	time   simclock.Duration
-	kind   int // evResume before evDispatch at equal times
+	kind   int // evResume before evHedge before evDispatch at equal times
 	stream StreamID
 	dev    device.ID
+	req    *Request
 }
 
 const (
-	evResume   = 0 // a stream starts, wakes from sleep, or its request completes
-	evDispatch = 1 // an idle device begins servicing a queued request
+	evResume   = 0 // a stream starts, wakes from sleep, or a request completes
+	evHedge    = 1 // a hedged read's deadline expires; the secondary fires
+	evDispatch = 2 // an idle device begins servicing a queued request
 )
 
 // eventLess is the engine's total event order: time, then resumes before
-// dispatches, then stream ID (resumes) or device ID (dispatches). It is
-// the same tie-break the goroutine engine's linear scan applied, so the
-// two engines process identical event sequences.
+// hedge deadlines before dispatches, then stream ID (resumes and hedges)
+// or device ID (dispatches), then the carried request's submission seq.
+// The (time, resume-before-dispatch, stream/device) prefix is the same
+// tie-break the goroutine engine's linear scan applied, so schedules
+// without hedged reads are unchanged. The seq suffix only matters when one
+// stream has several events at one instant — a hedged pair completing
+// together, or an abandoned loser's completion landing on a sleep wake —
+// and makes the earlier-submitted request win deterministically.
 func eventLess(a, b engineEvent) bool {
 	if a.time != b.time {
 		return a.time < b.time
@@ -30,19 +42,32 @@ func eventLess(a, b engineEvent) bool {
 	if a.kind != b.kind {
 		return a.kind < b.kind
 	}
-	if a.kind == evResume {
+	if a.kind == evDispatch {
+		return a.dev < b.dev
+	}
+	if a.stream != b.stream {
 		return a.stream < b.stream
 	}
-	return a.dev < b.dev
+	return eventSeq(a) < eventSeq(b)
+}
+
+// eventSeq orders same-stream same-instant events: plain resumes (no
+// request) first, then completions by submission order.
+func eventSeq(e engineEvent) uint64 {
+	if e.req == nil {
+		return 0
+	}
+	return e.req.seq + 1
 }
 
 // eventHeap is a binary min-heap of pending events under eventLess. Stream
-// resumes are unique per stream and always live (a stream waits on at most
-// one thing, at a fixed time). Dispatch events can be superseded: a
-// submission carrying an earlier arrival than the pending dispatch's
-// min-arrival pulls the dispatch instant forward, pushing a second event
-// and leaving the stale one to be dropped on pop (devQueue.dispatchAt
-// marks the live one).
+// resumes without a request are unique per stream and always live (a
+// stream waits on at most one timer, at a fixed time). Dispatch events can
+// be superseded: a submission carrying an earlier arrival than the pending
+// dispatch's min-arrival pulls the dispatch instant forward, pushing a
+// second event and leaving the stale one to be dropped on pop
+// (devQueue.dispatchAt marks the live one). Hedge events go stale when
+// their read completes first; the pop checks the stream's hedge state.
 type eventHeap []engineEvent
 
 func (h *eventHeap) push(ev engineEvent) {
@@ -64,6 +89,7 @@ func (h *eventHeap) pop() engineEvent {
 	top := s[0]
 	last := len(s) - 1
 	s[0] = s[last]
+	s[last] = engineEvent{}
 	s = s[:last]
 	*h = s
 	i := 0

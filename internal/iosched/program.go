@@ -19,10 +19,15 @@ import (
 // without a stack per stream.
 
 // Result is the outcome of the previous Op, passed to Program.Step. The
-// first Step call of a stream receives a zero Result.
+// first Step call of a stream receives a zero Result. Dev and HedgeFired
+// are set only by HedgedDevRead: the device whose completion won the race
+// and whether the hedge deadline expired (the secondary was issued) before
+// it resolved.
 type Result struct {
-	N   int
-	Err error
+	N          int
+	Err        error
+	Dev        device.ID
+	HedgeFired bool
 }
 
 // Program is one simulated process: Step returns the next operation to
@@ -82,15 +87,28 @@ const (
 	opExit opKind = iota
 	opSleep
 	opIO
+	opHedge
 )
 
 // Op is one operation a Program asks its driver to run: finish the stream,
-// sleep in virtual time, or perform a (possibly suspending) I/O.
+// sleep in virtual time, perform a (possibly suspending) I/O, or race a
+// hedged read across two devices.
 type Op struct {
 	kind  opKind
 	sleep simclock.Duration
 	err   error
 	start func(h *Handle) vfs.IOStep
+	hedge *hedgeSpec
+}
+
+// hedgeSpec parameterises a HedgedDevRead: off is the primary's device
+// offset, secOff the secondary's (they differ when the two devices hold
+// replicas of the same data at different extents).
+type hedgeSpec struct {
+	primary, secondary device.ID
+	off, secOff        int64
+	length             int64
+	delay              simclock.Duration
 }
 
 // Exit ends the stream with the given error (nil for success).
@@ -141,6 +159,46 @@ func DevWrite(id device.ID, off, length int64) Op {
 	}}
 }
 
+// HedgedDevRead is DevRead with a deterministic tail-latency hedge: the
+// read is submitted to the primary device and a virtual-time deadline of
+// delay is armed. If the read has not completed when the deadline expires,
+// an identical read is submitted to the secondary device and the two race;
+// the first completion resumes the stream (Result.Dev names the winner,
+// Result.HedgeFired reports whether the secondary was issued) and the
+// loser is cancelled — dropped from its queue if not yet dispatched, or
+// left to finish unclaimed if the device is already servicing it, exactly
+// as a real cancellation cannot recall a request the server has started.
+// The first completion wins even if it carries a fault: error handling
+// (failover, retry) stays with the caller.
+//
+// Under an Engine both devices should be queued; an unqueued primary
+// completes in place with no hedging (as DevRead would), and an unqueued
+// secondary leaves the deadline inert. A hedged read is a queue-level
+// operation: it races the device queues themselves, so wrappers stacked
+// over a queue (an injector Replaced after Queue) are bypassed — faults
+// must be injected under the queue to perturb it, where they surface at
+// dispatch time in the completion. Under RunProgram every access
+// completes in place, so the op degrades to a plain primary read. The
+// deadline uses virtual time only: schedules stay byte-identical across
+// runs and worker counts.
+func HedgedDevRead(primary, secondary device.ID, off, length int64, delay simclock.Duration) Op {
+	return HedgedDevReadAt(primary, off, secondary, off, length, delay)
+}
+
+// HedgedDevReadAt is HedgedDevRead with distinct device offsets for the
+// two targets — the replicated-data case, where each device holds its own
+// copy of the logical bytes at its own extent.
+func HedgedDevReadAt(primary device.ID, off int64, secondary device.ID, secOff, length int64, delay simclock.Duration) Op {
+	return Op{kind: opHedge, hedge: &hedgeSpec{
+		primary:   primary,
+		secondary: secondary,
+		off:       off,
+		secOff:    secOff,
+		length:    length,
+		delay:     delay,
+	}}
+}
+
 // deviceStep wraps one raw device access as an IOStep, so queued devices
 // can suspend it like any kernel I/O.
 func deviceStep(k *vfs.Kernel, id device.ID, off, length int64, write bool) vfs.IOStep {
@@ -184,6 +242,18 @@ func RunProgram(k *vfs.Kernel, prog Program) error {
 				panic("iosched: program suspended outside an engine run")
 			}
 			res = Result{N: int(step.N()), Err: step.Err()}
+		case opHedge:
+			// With no engine there is no queue to suspend on: the primary
+			// read completes in place and the hedge never fires.
+			hg := op.hedge
+			if hg.delay < 0 {
+				panic(fmt.Sprintf("iosched: negative hedge delay %v", hg.delay))
+			}
+			err := device.ReadErr(k.Devices.Get(hg.primary), k.Clock, hg.off, hg.length)
+			if errors.Is(err, vfs.ErrBlocked) {
+				panic("iosched: program suspended outside an engine run")
+			}
+			res = Result{Err: err, Dev: hg.primary}
 		}
 	}
 }

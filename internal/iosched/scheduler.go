@@ -35,6 +35,11 @@ type Request struct {
 	// the arrival heap deletes lazily, dropping marked entries when they
 	// surface.
 	picked bool
+
+	// cancelled marks a hedge loser: if still queued it is dropped when a
+	// dispatch surfaces it; if already in flight it completes unclaimed
+	// (the device time is spent, the stream has moved on).
+	cancelled bool
 }
 
 // Scheduler is a pluggable per-device request scheduling policy. The

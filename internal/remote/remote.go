@@ -19,13 +19,23 @@
 //
 // The Mount plugs into the client kernel exactly as the HSM stager does:
 // demand fetches flow through Fetch, per-page level queries through
-// DeviceFor.
+// DeviceFor. The server proper (disk, memory, buffer cache) lives in the
+// Server type, which internal/fleet reuses to model each replica of a
+// replicated mount.
+//
+// # Abort-cost contract
+//
+// When the server's disk faults partway through a remote access, the
+// request aborts with the full RTT already charged (the request did reach
+// the server) plus whatever server-side memory and disk time accrued
+// before the fault, but WITHOUT the wire-transfer charge: the bytes after
+// the fault never cross the wire, and partial wire time for bytes before
+// it is not modelled. A retry therefore re-pays the RTT from scratch.
+// This holds for demand fetches (ReadThrough), characterization reads
+// (ReadFresh), and synchronous writes (WriteThrough) alike.
 package remote
 
 import (
-	"container/list"
-	"fmt"
-
 	"sleds/internal/device"
 	"sleds/internal/simclock"
 	"sleds/internal/vfs"
@@ -64,41 +74,23 @@ func DefaultConfig() Config {
 type Mount struct {
 	k   *vfs.Kernel
 	cfg Config
-
-	serverDisk *device.Disk
-	serverMem  *device.Mem
+	srv *Server
 
 	fastID device.ID // characterization device: server-cached reads
 	slowID device.ID // characterization device: server-disk reads
 	homeID device.ID // the device remote files are created on (== slowID)
 
-	// server buffer cache, keyed by server-disk page.
-	pageSize    int64
-	serverCache *list.List // *serverPage, front = MRU
-	serverIndex map[int64]*list.Element
-	capacity    int
+	pageSize int64
 }
-
-// serverPage is one page resident in the server's cache.
-type serverPage struct{ page int64 }
 
 // NewMount attaches the mount's characterization devices to the client
 // kernel, registers the mount as the stager for remote files, and returns
 // it. Files served by this mount must be created on Mount.Device().
 func NewMount(k *vfs.Kernel, cfg Config) (*Mount, error) {
-	if cfg.WireBandwidth <= 0 {
-		return nil, fmt.Errorf("remote: non-positive wire bandwidth")
-	}
-	if cfg.ServerCachePages <= 0 {
-		return nil, fmt.Errorf("remote: server cache of %d pages", cfg.ServerCachePages)
-	}
 	m := &Mount{
-		k:           k,
-		cfg:         cfg,
-		pageSize:    int64(k.PageSize()),
-		serverCache: list.New(),
-		serverIndex: make(map[int64]*list.Element),
-		capacity:    cfg.ServerCachePages,
+		k:        k,
+		cfg:      cfg,
+		pageSize: int64(k.PageSize()),
 	}
 	memCfg := cfg.ServerMem
 	memCfg.ID = device.ID(k.Devices.Len())
@@ -109,12 +101,16 @@ func NewMount(k *vfs.Kernel, cfg Config) (*Mount, error) {
 	diskCfg := cfg.ServerDisk
 	diskCfg.ID = device.ID(k.Devices.Len())
 	diskCfg.Name = "remote/slow"
-	m.serverDisk = device.NewDisk(diskCfg)
+	srvCfg := cfg
+	srvCfg.ServerDisk = diskCfg
+	srv, err := NewServer(srvCfg, m.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	m.srv = srv
 	slow := &slowPath{m: m, id: diskCfg.ID}
 	m.slowID = k.AttachDevice(slow)
 	m.homeID = m.slowID
-
-	m.serverMem = device.NewMem(cfg.ServerMem)
 
 	k.SetStager(m, m.homeID)
 	return m, nil
@@ -127,69 +123,22 @@ func (m *Mount) Device() device.ID { return m.homeID }
 // (for inspecting table entries).
 func (m *Mount) FastDevice() device.ID { return m.fastID }
 
+// Server returns the server behind the mount, for inspection and for
+// stacking a fault injector under it with Server.ReplaceDisk.
+func (m *Mount) Server() *Server { return m.srv }
+
 // ServerCachedPages reports how many pages the server currently caches.
-func (m *Mount) ServerCachedPages() int { return m.serverCache.Len() }
-
-// serverHas reports and refreshes residency of a server page.
-func (m *Mount) serverHas(page int64, touch bool) bool {
-	e, ok := m.serverIndex[page]
-	if ok && touch {
-		m.serverCache.MoveToFront(e)
-	}
-	return ok
-}
-
-// serverInsert adds a page to the server cache, evicting LRU.
-func (m *Mount) serverInsert(page int64) {
-	if e, ok := m.serverIndex[page]; ok {
-		m.serverCache.MoveToFront(e)
-		return
-	}
-	for m.serverCache.Len() >= m.capacity {
-		victim := m.serverCache.Back()
-		m.serverCache.Remove(victim)
-		delete(m.serverIndex, victim.Value.(*serverPage).page)
-	}
-	m.serverIndex[page] = m.serverCache.PushFront(&serverPage{page: page})
-}
-
-// readThrough charges one remote read of [off, off+n): RTT, then server
-// memory or disk, then the wire transfer. The server caches what its disk
-// returns. A fault on the server disk aborts the request (the bytes after
-// it never cross the wire).
-func (m *Mount) readThrough(c *simclock.Clock, off, n int64) error {
-	c.Advance(m.cfg.RTT)
-	end := off + n
-	for cur := off; cur < end; {
-		page := cur / m.pageSize
-		pageEnd := (page + 1) * m.pageSize
-		stop := end
-		if stop > pageEnd {
-			stop = pageEnd
-		}
-		if m.serverHas(page, true) {
-			m.serverMem.Read(c, cur, stop-cur)
-		} else {
-			if err := device.ReadErr(m.serverDisk, c, cur, stop-cur); err != nil {
-				return err
-			}
-			m.serverInsert(page)
-		}
-		cur = stop
-	}
-	c.Advance(simclock.TransferTime(n, m.cfg.WireBandwidth))
-	return nil
-}
+func (m *Mount) ServerCachedPages() int { return m.srv.CachedPages() }
 
 // Fetch implements vfs.Stager.
 func (m *Mount) Fetch(ino *vfs.Inode, devOff, length int64) error {
-	return m.readThrough(m.k.Clock, devOff, length)
+	return m.srv.ReadThrough(m.k.Clock, devOff, length)
 }
 
 // DeviceFor implements vfs.Stager: server-cached pages report the fast
 // characterization device, the rest the slow one.
 func (m *Mount) DeviceFor(ino *vfs.Inode, devOff int64) device.ID {
-	if m.serverHas(devOff/m.pageSize, false) {
+	if m.srv.has(devOff/m.pageSize, false) {
 		return m.fastID
 	}
 	return m.slowID
@@ -208,17 +157,19 @@ func (f *fastPath) Info() device.Info {
 
 // Read charges the fast-path cost model: RTT + server memory + wire.
 func (f *fastPath) Read(c *simclock.Clock, off, n int64) {
-	c.Advance(f.m.cfg.RTT)
-	f.m.serverMem.Read(c, off, n)
-	c.Advance(simclock.TransferTime(n, f.m.cfg.WireBandwidth))
+	f.m.srv.FastRead(c, off, n)
 }
 
 func (f *fastPath) Write(c *simclock.Clock, off, n int64) { f.Read(c, off, n) }
 func (f *fastPath) Reset()                                {}
 
 // slowPath is the characterization device for server-disk reads and the
-// home device of remote files. Its Read is only invoked by lmbench
-// calibration and by dirty write-back; demand reads go through Fetch.
+// home device of remote files. Its reads are only invoked by lmbench
+// calibration and its writes by dirty write-back; demand reads go through
+// Fetch. It implements device.FallibleDevice so a fault injector stacked
+// under the server (Server.ReplaceDisk) or over this registered device
+// (Registry.Replace) surfaces injected faults to the kernel's retry
+// policy instead of absorbing them.
 type slowPath struct {
 	m  *Mount
 	id device.ID
@@ -229,18 +180,30 @@ func (s *slowPath) Info() device.Info {
 }
 
 // Read charges the slow-path cost model WITHOUT populating the server
-// cache: calibration probes must not warm it.
+// cache: calibration probes must not warm it. The infallible path is what
+// lmbench drives; a server-disk fault during it still costs the time the
+// fallible path would have charged.
 func (s *slowPath) Read(c *simclock.Clock, off, n int64) {
-	c.Advance(s.m.cfg.RTT)
-	s.m.serverDisk.Read(c, off, n)
-	c.Advance(simclock.TransferTime(n, s.m.cfg.WireBandwidth))
+	_ = s.m.srv.ReadFresh(c, off, n)
 }
 
-// Write charges a synchronous remote write.
+// Write charges a synchronous remote write through the infallible path.
 func (s *slowPath) Write(c *simclock.Clock, off, n int64) {
-	c.Advance(s.m.cfg.RTT)
-	s.m.serverDisk.Write(c, off, n)
-	c.Advance(simclock.TransferTime(n, s.m.cfg.WireBandwidth))
+	_ = s.m.srv.WriteThrough(c, off, n)
 }
 
-func (s *slowPath) Reset() { s.m.serverDisk.Reset() }
+// ReadErr implements device.FallibleDevice with the abort-cost contract
+// documented in the package comment.
+func (s *slowPath) ReadErr(c *simclock.Clock, off, n int64) error {
+	return s.m.srv.ReadFresh(c, off, n)
+}
+
+// WriteErr implements device.FallibleDevice: a server-disk fault aborts
+// the write before the wire charge and surfaces to the caller — this is
+// the path dirty write-back takes, so injected server faults are counted
+// by the kernel instead of vanishing.
+func (s *slowPath) WriteErr(c *simclock.Clock, off, n int64) error {
+	return s.m.srv.WriteThrough(c, off, n)
+}
+
+func (s *slowPath) Reset() { s.m.srv.ResetDisk() }
