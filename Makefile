@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build vet fmt staticcheck lint test race bench bench-smoke bench-json bench-compare scale-smoke determinism faults-smoke trace-smoke fleet-smoke ci
+.PHONY: build vet fmt staticcheck lint lint-debt lint-sarif test race bench bench-smoke bench-json bench-compare scale-smoke determinism faults-smoke trace-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,25 @@ fmt:
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-# lint runs sledlint, the in-repo determinism linter (cmd/sledlint):
-# wallclock, rngsource, mapiter, panicpath and simtime rules over the
-# whole module. Suppressions need //sledlint:allow <rule> -- <reason>.
+# lint runs sledlint, the in-repo determinism and dataflow linter
+# (cmd/sledlint): the syntactic rules (wallclock, rngsource, mapiter,
+# panicpath, simtime) plus the inter-procedural ones (seedflow,
+# errflow, hotalloc), over the whole module with test files included,
+# gated against the committed baseline (lint-baseline.json; currently
+# empty — no accepted debt). Suppressions need
+# //sledlint:allow <rule> -- <reason>; `make lint-debt` lists them.
 lint:
-	$(GO) run ./cmd/sledlint ./...
+	$(GO) run ./cmd/sledlint -tests -baseline lint-baseline.json ./...
+
+# lint-debt inventories every //sledlint:allow directive with its
+# reason — the full cost of the suppression mechanism, in one page.
+lint-debt:
+	$(GO) run ./cmd/sledlint -debt ./...
+
+# lint-sarif renders the same run as SARIF 2.1.0 for code-scanning
+# UIs. Informational (never fails): the gate is `make lint`.
+lint-sarif:
+	$(GO) run ./cmd/sledlint -tests -sarif ./... > sledlint.sarif; true
 
 test:
 	$(GO) test ./...

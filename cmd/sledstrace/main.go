@@ -66,6 +66,13 @@ func fail(code int, format string, args ...any) {
 	os.Exit(code)
 }
 
+// cliSeed passes the -seed flag through as this invocation's
+// reproducibility root: the value is recorded in the trace header, so
+// any generated trace can be regenerated from its own metadata.
+//
+//sledlint:seed
+func cliSeed(seed uint64) uint64 { return seed }
+
 func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	class := fs.String("class", "oltp", "workload class (see: sledstrace classes)")
@@ -83,7 +90,7 @@ func cmdGen(args []string) {
 		fail(2, "gen takes no positional arguments, got %q", fs.Args())
 	}
 
-	p := trace.DefaultParams(*seed)
+	p := trace.DefaultParams(cliSeed(*seed))
 	if *streams > 0 {
 		p.Streams = *streams
 	}

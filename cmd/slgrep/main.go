@@ -44,7 +44,7 @@ func main() {
 		fatal(fmt.Errorf("unknown file system %q", *fsName))
 	}
 	size := int64(*sizeMB * (1 << 20))
-	if err := sys.CreateTextFileWithMatches("/data/testfile", dev, *seed, size,
+	if err := sys.CreateTextFileWithMatches("/data/testfile", dev, cliSeed(*seed), size,
 		"xyzzy", int64(*at*float64(size))); err != nil {
 		fatal(err)
 	}
@@ -84,6 +84,13 @@ func main() {
 		}
 	}
 }
+
+// cliSeed passes the -seed flag through as this invocation's
+// reproducibility root: rerunning with the same flag regenerates the
+// same file content.
+//
+//sledlint:seed
+func cliSeed(seed uint64) uint64 { return seed }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "slgrep:", err)

@@ -35,7 +35,7 @@ func main() {
 		fatal(err)
 	}
 	size := int64(*sizeMB * (1 << 20))
-	if err := sys.CreateTextFile("/data/testfile", dev, *seed, size); err != nil {
+	if err := sys.CreateTextFile("/data/testfile", dev, cliSeed(*seed), size); err != nil {
 		fatal(err)
 	}
 
@@ -87,6 +87,13 @@ func deviceFor(name string) (sleds.StandardDevice, error) {
 	}
 	return 0, fmt.Errorf("unknown file system %q", name)
 }
+
+// cliSeed passes the -seed flag through as this invocation's
+// reproducibility root: rerunning with the same flag regenerates the
+// same file content.
+//
+//sledlint:seed
+func cliSeed(seed uint64) uint64 { return seed }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "slwc:", err)

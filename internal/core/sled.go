@@ -457,6 +457,11 @@ func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 // file-set ordering — reuse one scratch vector across calls instead of
 // allocating per query. The result is valid until the next QueryAppend
 // reusing the same scratch.
+//
+// The steady-state path is allocation-free (BenchmarkQueryAppend pins
+// allocs/op at zero); hotalloc enforces the same statically.
+//
+//sledlint:hotpath
 func QueryAppend(dst []SLED, k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 	if n.IsDir() {
 		return nil, fmt.Errorf("core: %q is a directory", n.Name())
@@ -518,6 +523,7 @@ func QueryAppend(dst []SLED, k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, err
 			// staged pages report the disk's estimates, unstaged ones the
 			// tape's. Each distinct device is still sampled only once.
 			if samples == nil {
+				//sledlint:allow hotalloc -- staged (tape) files only, never the benchmarked steady state; bounded at one entry per device level
 				samples = make(map[device.ID]*querySample, 2)
 			}
 			for p := from; p < to; p++ {

@@ -134,6 +134,11 @@ func mix64(x uint64) uint64 {
 // same seed, on every run, at every worker count — and mixes every input
 // through SplitMix64 so nearby points get unrelated seeds instead of the
 // correlated streams that base+offset arithmetic produces.
+//
+// This is the declared root of the repository's seed-derivation chains:
+// seedflow accepts any seed that traces here.
+//
+//sledlint:seed
 func PointSeed(base int64, exp string, idxs ...int) int64 {
 	h := mix64(uint64(base) ^ 0x9e3779b97f4a7c15)
 	for i := 0; i < len(exp); i++ {

@@ -183,6 +183,7 @@ func grepFirstPoint(pcfg Config, baseSeed int64, fs string, size int64, useSLEDs
 	if err != nil {
 		return nil, err
 	}
+	//sledlint:allow seedflow -- content must derive from (baseSeed, size) only, never the point jitter: a with/without pair has to read identical files
 	c, err := textFileOn(m, fs, uint64(baseSeed)+uint64(size), size, cfg.PageSize)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,8 @@ import (
 // waitGoroutines polls until the process goroutine count drops back to
 // base. AddStreamFunc goroutines exit just after their final bridge send,
 // so the count can lag Run's return by a scheduler beat.
+//
+//sledlint:allow wallclock -- leak detector for real goroutines: runtime.NumGoroutine settles on the host scheduler's clock, which no virtual clock can poll
 func waitGoroutines(t *testing.T, base int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -206,7 +206,7 @@ func bootFileKernel(t testing.TB, files int, size int64) (*vfs.Kernel, device.ID
 		t.Fatal(err)
 	}
 	var paths []string
-	for i := 0; i < files; i++ {
+	for i := range files {
 		path := "/data/f" + string(rune('a'+i))
 		c := workload.NewText(uint64(i+1), size, 4096)
 		if _, err := k.Create(path, disk, c); err != nil {

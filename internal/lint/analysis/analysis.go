@@ -19,6 +19,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"sleds/internal/lint/callgraph"
 )
 
 // Analyzer describes one sledlint rule: a named, documented check that
@@ -35,10 +37,23 @@ type Analyzer struct {
 	// Run applies the rule to a single type-checked package,
 	// reporting findings through pass.Reportf.
 	Run func(*Pass) error
+
+	// UsesFacts marks inter-procedural analyzers. The driver runs them
+	// over dependency packages outside the requested patterns (with
+	// diagnostics discarded) so their per-function summaries exist
+	// before dependents are checked; purely syntactic analyzers skip
+	// that extra work.
+	UsesFacts bool
+
+	// Tests opts the analyzer into _test.go files when the driver runs
+	// in -tests mode. Rules whose violations are only meaningful in
+	// simulator code (simtime's duration literals, say) leave it false
+	// and keep their findings scoped to non-test files.
+	Tests bool
 }
 
 // Pass carries one type-checked package through one analyzer. It is
-// the x/tools analysis.Pass, minus facts and result passing.
+// the x/tools analysis.Pass, minus result passing.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -47,9 +62,36 @@ type Pass struct {
 	PkgPath   string // import path; types.Package.Path is unset for ad-hoc testdata loads
 	TypesInfo *types.Info
 
+	// Facts is the run-wide fact store. The driver guarantees that
+	// when this pass runs, every module-local package this one imports
+	// has already been analyzed, so facts on imported objects are
+	// present.
+	Facts *FactSet
+
+	// Graph is the deterministic static call graph over every package
+	// in the run's dependency closure.
+	Graph *callgraph.Graph
+
+	// Suppressions indexes this package's //sledlint:allow directives.
+	// The driver applies them to diagnostics after the pass; analyzers
+	// that *summarize* code into facts (hotalloc's allocation sites)
+	// also consult them directly, so a reasoned directive at a site
+	// excludes it from cross-package reports too.
+	Suppressions *Suppressions
+
 	// Report receives each diagnostic. The driver installs a
 	// collector here; analyzers normally call Reportf instead.
 	Report func(Diagnostic)
+}
+
+// ExportObjectFact records fact for obj in the run's fact store.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.Facts.ExportObjectFact(obj, fact)
+}
+
+// ImportObjectFact copies obj's fact of ptr's type into *ptr.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.Facts.ImportObjectFact(obj, ptr)
 }
 
 // Reportf reports a finding at pos.

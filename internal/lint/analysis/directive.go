@@ -27,6 +27,75 @@ import (
 // DirectivePrefix is the comment prefix shared by all analyzers.
 const DirectivePrefix = "//sledlint:allow"
 
+// Annotation markers. Alongside the allow directive, two positive
+// markers classify functions for the dataflow analyzers:
+//
+//	//sledlint:seed     this function is a trusted seed source: its
+//	                    result may seed RNG constructors, and its own
+//	                    body is exempt from seedflow (the root of a
+//	                    derivation chain has nothing upstream to check).
+//	//sledlint:hotpath  this function is a pinned zero-allocation hot
+//	                    path: hotalloc rejects allocation sites in it
+//	                    and in every non-annotated module-local callee.
+//
+// Markers go in the function's doc comment, one per line, with
+// optional trailing prose after the marker word.
+
+// HasMarker reports whether the doc comment carries the given marker
+// ("seed", "hotpath"). A marker line is "//sledlint:<marker>" exactly
+// or followed by whitespace.
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	prefix := "//sledlint:" + marker
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, prefix)
+		if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+			return true
+		}
+	}
+	return false
+}
+
+// Directive is one well-formed //sledlint:allow occurrence — the unit
+// of the debt report (`sledlint -debt`), which makes every accepted
+// exception enumerable with its rule and reason.
+type Directive struct {
+	Pos       token.Pos
+	Analyzers []string
+	Reason    string
+}
+
+// CollectDirectives returns every well-formed allow directive in the
+// files, in source order.
+func CollectDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				names, bad := parseDirective(c.Text)
+				if bad != "" || len(names) == 0 {
+					continue
+				}
+				_, reason, _ := strings.Cut(strings.TrimPrefix(c.Text, DirectivePrefix), "--")
+				out = append(out, Directive{
+					Pos:       c.Pos(),
+					Analyzers: names,
+					Reason:    strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
 // lineSpan is an inclusive range of lines in one file.
 type lineSpan struct{ from, to int }
 

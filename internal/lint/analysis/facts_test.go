@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// markFact is the test fact type: a payload the round-trip can compare.
+type markFact struct{ N int }
+
+func (*markFact) AFact() {}
+
+func init() { RegisterFact(&markFact{}) }
+
+const factSrcA = `package a
+
+func Seed() uint64 { return 1 }
+
+type T struct{}
+
+func (t *T) M() int { return 0 }
+
+var V = 3
+`
+
+const factSrcB = `package b
+
+import "fixture/a"
+
+func Use() uint64 { return a.Seed() }
+`
+
+// mapImporter resolves imports from already-checked packages.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, &importError{path}
+}
+
+type importError struct{ path string }
+
+func (e *importError) Error() string { return "no package " + e.path }
+
+func checkSrc(t *testing.T, fset *token.FileSet, path, src string, deps mapImporter) *types.Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: deps}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func methodM(t *testing.T, pkg *types.Package) types.Object {
+	t.Helper()
+	tn := pkg.Scope().Lookup("T")
+	if tn == nil {
+		t.Fatal("T not found")
+	}
+	ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+	for i := 0; i < ms.Len(); i++ {
+		if m := ms.At(i).Obj(); m.Name() == "M" {
+			return m
+		}
+	}
+	t.Fatal("T.M not found")
+	return nil
+}
+
+// TestCrossPackageFactRoundTrip pins the serialized fact form: facts
+// exported on one type-checked build of a package must decode onto a
+// *separate* build (fresh FileSet, fresh types.Objects) purely via
+// object paths — the property that would let the store cross process
+// boundaries the way x/tools export data does.
+func TestCrossPackageFactRoundTrip(t *testing.T) {
+	fset1 := token.NewFileSet()
+	a1 := checkSrc(t, fset1, "fixture/a", factSrcA, nil)
+	b1 := checkSrc(t, fset1, "fixture/b", factSrcB, mapImporter{"fixture/a": a1})
+
+	facts := NewFactSet()
+	facts.ExportObjectFact(a1.Scope().Lookup("Seed"), &markFact{N: 7})
+	facts.ExportObjectFact(methodM(t, a1), &markFact{N: 9})
+
+	// Downstream package b sees the facts directly: one importer means
+	// a.Seed is the same object from both sides.
+	var got markFact
+	if !facts.ImportObjectFact(b1.Imports()[0].Scope().Lookup("Seed"), &got) || got.N != 7 {
+		t.Fatalf("in-memory cross-package import failed: %+v", got)
+	}
+
+	data, err := facts.EncodePackage(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh type-check of the same source produces distinct objects;
+	// only the path-based wire form can bridge them.
+	fset2 := token.NewFileSet()
+	a2 := checkSrc(t, fset2, "fixture/a", factSrcA, nil)
+	if a2.Scope().Lookup("Seed") == a1.Scope().Lookup("Seed") {
+		t.Fatal("fixture broken: both builds share object identity")
+	}
+	fresh := NewFactSet()
+	if err := fresh.DecodePackage(a2, data); err != nil {
+		t.Fatal(err)
+	}
+	got = markFact{}
+	if !fresh.ImportObjectFact(a2.Scope().Lookup("Seed"), &got) || got.N != 7 {
+		t.Fatalf("decoded Seed fact = %+v, want N=7", got)
+	}
+	got = markFact{}
+	if !fresh.ImportObjectFact(methodM(t, a2), &got) || got.N != 9 {
+		t.Fatalf("decoded T.M fact = %+v, want N=9", got)
+	}
+}
+
+func TestDecodeUnknownPathFails(t *testing.T) {
+	fset := token.NewFileSet()
+	a := checkSrc(t, fset, "fixture/a", factSrcA, nil)
+	facts := NewFactSet()
+	facts.ExportObjectFact(a.Scope().Lookup("Seed"), &markFact{N: 1})
+	data, err := facts.EncodePackage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding against a package that lacks the object must error, not
+	// silently drop the fact.
+	other := checkSrc(t, token.NewFileSet(), "fixture/b", `package b; func Other() {}`, nil)
+	if err := NewFactSet().DecodePackage(other, data); err == nil {
+		t.Fatal("decode against wrong package succeeded")
+	}
+}
+
+func TestObjectPath(t *testing.T) {
+	fset := token.NewFileSet()
+	a := checkSrc(t, fset, "fixture/a", factSrcA, nil)
+	if got := ObjectPath(a.Scope().Lookup("Seed")); got != "Seed" {
+		t.Fatalf("ObjectPath(Seed) = %q", got)
+	}
+	if got := ObjectPath(methodM(t, a)); got != "T.M" {
+		t.Fatalf("ObjectPath(T.M) = %q", got)
+	}
+	if got := ObjectPath(a.Scope().Lookup("V")); got != "V" {
+		t.Fatalf("ObjectPath(V) = %q", got)
+	}
+}
+
+// TestExportOverwritesAndListingIsSorted pins the two FactSet
+// behaviors the fixpoint analyzers rely on: re-export replaces (the
+// monotone passes re-export until stable), and AllObjectFacts orders
+// identically regardless of insertion order.
+func TestExportOverwritesAndListingIsSorted(t *testing.T) {
+	fset := token.NewFileSet()
+	a := checkSrc(t, fset, "fixture/a", factSrcA, nil)
+	seed, m := a.Scope().Lookup("Seed"), methodM(t, a)
+
+	s1 := NewFactSet()
+	s1.ExportObjectFact(seed, &markFact{N: 1})
+	s1.ExportObjectFact(seed, &markFact{N: 2})
+	var got markFact
+	if !s1.ImportObjectFact(seed, &got) || got.N != 2 {
+		t.Fatalf("overwrite failed: %+v", got)
+	}
+
+	s1.ExportObjectFact(m, &markFact{N: 3})
+	s2 := NewFactSet()
+	s2.ExportObjectFact(m, &markFact{N: 3})
+	s2.ExportObjectFact(seed, &markFact{N: 2})
+	l1, l2 := s1.AllObjectFacts(), s2.AllObjectFacts()
+	if len(l1) != 2 || len(l2) != 2 {
+		t.Fatalf("listing lengths %d, %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i].Object != l2[i].Object {
+			t.Fatalf("listing order differs at %d: %v vs %v", i, l1[i].Object, l2[i].Object)
+		}
+	}
+}

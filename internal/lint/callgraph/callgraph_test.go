@@ -1,0 +1,128 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Two files so the determinism test can permute input order.
+const cgSrc1 = `package cg
+
+func C() {}
+
+func B() {
+	f := func() { C() }
+	f()
+}
+
+func A() {
+	B()
+	C()
+	B()
+}
+`
+
+const cgSrc2 = `package cg
+
+var F = func() {}
+
+func D() { F() }
+
+type T struct{}
+
+func (t *T) M() { A() }
+`
+
+// buildGraph parses and type-checks the fixture from scratch — fresh
+// FileSet, fresh objects — adding the files in the given order.
+func buildGraph(t *testing.T, reversed bool) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for i, src := range []string{cgSrc1, cgSrc2} {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("cg%d.go", i), src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if reversed {
+		files[0], files[1] = files[1], files[0]
+	}
+	info := &types.Info{
+		Uses: make(map[*ast.Ident]types.Object),
+		Defs: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("fixture/cg", fset, files, info); err != nil {
+		t.Fatal(err)
+	}
+	g := New()
+	g.AddPackage(files, info)
+	return g
+}
+
+// fingerprint renders the whole graph as text: one line per function
+// with its sorted callees. Two graphs are equal iff their fingerprints
+// match.
+func fingerprint(g *Graph) string {
+	var b strings.Builder
+	for _, fn := range g.Funcs() {
+		fmt.Fprintf(&b, "%s ->", fn.FullName())
+		for _, c := range g.Callees(fn) {
+			fmt.Fprintf(&b, " %s", c.FullName())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestGraphEdges(t *testing.T) {
+	fp := fingerprint(buildGraph(t, false))
+	want := []string{
+		// Duplicate call sites dedupe to one edge.
+		"fixture/cg.A -> fixture/cg.B fixture/cg.C\n",
+		// The closure's call is attributed to the enclosing decl; the
+		// dynamic invocation of f itself adds no edge.
+		"fixture/cg.B -> fixture/cg.C\n",
+		"fixture/cg.C ->\n",
+		// Calls through function-typed package vars stay unresolved.
+		"fixture/cg.D ->\n",
+		"(*fixture/cg.T).M -> fixture/cg.A\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(fp, w) {
+			t.Fatalf("graph missing %q:\n%s", w, fp)
+		}
+	}
+}
+
+// TestGraphDeterministic pins the determinism contract: repeated
+// builds, permuted file order, and different GOMAXPROCS all yield the
+// byte-identical graph listing.
+func TestGraphDeterministic(t *testing.T) {
+	want := fingerprint(buildGraph(t, false))
+	for i := 0; i < 5; i++ {
+		if got := fingerprint(buildGraph(t, false)); got != want {
+			t.Fatalf("run %d differs:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+	if got := fingerprint(buildGraph(t, true)); got != want {
+		t.Fatalf("reversed file order differs:\n%s\nwant:\n%s", got, want)
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if got := fingerprint(buildGraph(t, false)); got != want {
+		t.Fatalf("GOMAXPROCS=1 differs:\n%s\nwant:\n%s", got, want)
+	}
+	runtime.GOMAXPROCS(4)
+	if got := fingerprint(buildGraph(t, true)); got != want {
+		t.Fatalf("GOMAXPROCS=4 reversed differs:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,124 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The baseline is the driver's ratchet: a committed JSON inventory of
+// findings the team has accepted, so `make lint` fails only on
+// regressions while the accepted debt stays enumerable (and shrinks —
+// a fixed finding turns its baseline line stale, and -write-baseline
+// drops it). Matching is by {file, analyzer, message}, deliberately
+// not line numbers: unrelated edits move findings around a file, and a
+// baseline that churns on every refactor gets rubber-stamped instead
+// of read.
+
+// baselineEntry is one accepted finding. Count collapses identical
+// {file, analyzer, message} triples — the same message firing at N
+// sites in one file is one entry with count N.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"`
+}
+
+// baselineFile is the committed format.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// readBaseline loads and validates a baseline file. A missing file is
+// an error: the committed empty baseline ({"version":1,"findings":[]})
+// is the explicit starting state.
+func readBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, bf.Version)
+	}
+	return &bf, nil
+}
+
+// writeBaseline rewrites path from the current findings.
+func writeBaseline(path string, diags []JSONDiagnostic) error {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.File, d.Analyzer, d.Message}]++
+	}
+	// diags arrives sorted from renderable; walking it (not the map)
+	// keeps the emitted order deterministic.
+	bf := baselineFile{Version: 1, Findings: make([]baselineEntry, 0, len(counts))}
+	for _, d := range diags {
+		k := baselineKey{d.File, d.Analyzer, d.Message}
+		n, ok := counts[k]
+		if !ok {
+			continue // already emitted
+		}
+		delete(counts, k)
+		e := baselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message}
+		if n > 1 {
+			e.Count = n
+		}
+		bf.Findings = append(bf.Findings, e)
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// subtractBaseline removes up to count occurrences of each baseline
+// entry from the findings. It returns the surviving findings (the
+// regressions) and the stale entries nothing matched.
+func subtractBaseline(diags []JSONDiagnostic, base *baselineFile) (kept []JSONDiagnostic, stale []baselineEntry) {
+	budget := make(map[baselineKey]int, len(base.Findings))
+	for _, e := range base.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey{e.File, e.Analyzer, e.Message}] += n
+	}
+	used := make(map[baselineKey]int)
+	for _, d := range diags {
+		k := baselineKey{d.File, d.Analyzer, d.Message}
+		if used[k] < budget[k] {
+			used[k]++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range base.Findings {
+		k := baselineKey{e.File, e.Analyzer, e.Message}
+		if used[k] == 0 {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

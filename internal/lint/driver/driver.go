@@ -1,12 +1,25 @@
 // Package driver runs a set of sledlint analyzers over go-list
 // package patterns and renders the findings — the multichecker core
 // behind cmd/sledlint, kept importable so tests can exercise exit
-// codes and the JSON encoding without building the binary.
+// codes and the output encodings without building the binary.
+//
+// The driver provides the inter-procedural substrate: it analyzes the
+// module-local dependency closure of the matched packages in
+// topological order, sharing one fact store and one call graph, so an
+// analyzer checking package P can import facts exported while its
+// dependencies were analyzed (dependency packages run with their
+// diagnostics discarded — only matched packages report). Output comes
+// in three shapes — the file:line:col text form, -json, and -sarif
+// (SARIF 2.1.0 for code-scanning UIs) — and two side reports: a
+// committed baseline (-baseline) subtracts known findings so CI gates
+// only on regressions, and -debt enumerates every //sledlint:allow
+// directive with its reason.
 package driver
 
 import (
 	"encoding/json"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
@@ -14,6 +27,7 @@ import (
 	"strings"
 
 	"sleds/internal/lint/analysis"
+	"sleds/internal/lint/callgraph"
 	"sleds/internal/lint/load"
 )
 
@@ -26,8 +40,27 @@ const (
 
 // Options configures one run.
 type Options struct {
-	Dir  string // working directory for go list; "" = process cwd
-	JSON bool   // machine-readable output
+	Dir   string // working directory for go list; "" = process cwd
+	JSON  bool   // machine-readable output
+	SARIF bool   // SARIF 2.1.0 output (takes precedence over JSON)
+	Tests bool   // also load _test.go files; analyzers opt in via Tests
+
+	// Baseline names a committed JSON file of accepted findings;
+	// matching findings (same file, analyzer, message) are subtracted
+	// before reporting, so the exit code gates only on regressions.
+	// Stale entries — baseline lines nothing matched — are reported as
+	// warnings in text mode but never affect the exit code.
+	Baseline string
+
+	// WriteBaseline rewrites the Baseline file from the current
+	// findings and exits clean: the way debt is declared, all at once,
+	// never silently.
+	WriteBaseline bool
+
+	// Debt switches the run to the directive report: every well-formed
+	// //sledlint:allow in the matched packages, with its rule list and
+	// reason. Informational; always exits clean.
+	Debt bool
 }
 
 // JSONDiagnostic is the wire form emitted by `sledlint -json`: one
@@ -42,40 +75,139 @@ type JSONDiagnostic struct {
 
 // Run applies every analyzer to every package matching patterns,
 // filters findings through the shared //sledlint:allow suppression
-// pass, writes the report to w, and returns the exit code.
+// pass and the optional baseline, writes the report to w, and returns
+// the exit code.
 func Run(analyzers []*analysis.Analyzer, patterns []string, w io.Writer, opts Options) int {
-	pkgs, fset, err := load.Packages(opts.Dir, patterns...)
+	pkgs, fset, err := load.PackagesMode(opts.Dir, load.Mode{Tests: opts.Tests}, patterns...)
 	if err != nil {
 		fmt.Fprintf(w, "sledlint: %v\n", err)
 		return ExitError
 	}
 
+	if opts.Debt {
+		return debtReport(pkgs, fset, w, opts)
+	}
+
+	target := make(map[*load.Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		target[p] = true
+	}
+	closure := load.Closure(pkgs)
+
+	facts := analysis.NewFactSet()
+	graph := callgraph.New()
+	for _, p := range closure {
+		graph.AddPackage(p.Files, p.Info)
+	}
+
 	var all []analysis.Diagnostic
-	for _, pkg := range pkgs {
+	for _, p := range closure {
+		sup := analysis.CollectSuppressions(fset, p.Files)
+		externalTest := p.Test && strings.HasSuffix(p.Path, "_test")
 		var diags []analysis.Diagnostic
 		for _, a := range analyzers {
+			if !target[p] && !a.UsesFacts {
+				continue // dependency package: only fact producers run
+			}
+			if externalTest && !a.Tests {
+				continue // every file is a test file; nothing to keep
+			}
+			report := func(analysis.Diagnostic) {}
+			if target[p] {
+				keepTests := a.Tests
+				report = func(d analysis.Diagnostic) {
+					if !keepTests && isTestFile(fset, d.Pos) {
+						return
+					}
+					diags = append(diags, d)
+				}
+			}
 			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				PkgPath:   pkg.Path,
-				TypesInfo: pkg.Info,
-				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+				Analyzer:     a,
+				Fset:         fset,
+				Files:        p.Files,
+				Pkg:          p.Types,
+				PkgPath:      p.Path,
+				TypesInfo:    p.Info,
+				Facts:        facts,
+				Graph:        graph,
+				Suppressions: sup,
+				Report:       report,
 			}
 			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(w, "sledlint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				fmt.Fprintf(w, "sledlint: %s on %s: %v\n", a.Name, p.Path, err)
 				return ExitError
 			}
 		}
-		sup := analysis.CollectSuppressions(fset, pkg.Files)
-		all = append(all, sup.Filter(fset, diags)...)
+		if target[p] {
+			all = append(all, sup.Filter(fset, diags)...)
+		}
 	}
 
-	base := opts.Dir
-	if base == "" {
-		base, _ = os.Getwd()
+	out := renderable(fset, all, baseDir(opts))
+	if opts.WriteBaseline {
+		if opts.Baseline == "" {
+			fmt.Fprintln(w, "sledlint: -write-baseline requires -baseline <file>")
+			return ExitError
+		}
+		if err := writeBaseline(opts.Baseline, out); err != nil {
+			fmt.Fprintf(w, "sledlint: %v\n", err)
+			return ExitError
+		}
+		fmt.Fprintf(w, "sledlint: wrote %d finding(s) to %s\n", len(out), opts.Baseline)
+		return ExitClean
 	}
+
+	var stale []baselineEntry
+	if opts.Baseline != "" {
+		base, err := readBaseline(opts.Baseline)
+		if err != nil {
+			fmt.Fprintf(w, "sledlint: %v\n", err)
+			return ExitError
+		}
+		out, stale = subtractBaseline(out, base)
+	}
+
+	switch {
+	case opts.SARIF:
+		if err := writeSARIF(w, analyzers, out); err != nil {
+			return ExitError
+		}
+	case opts.JSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return ExitError
+		}
+	default:
+		for _, d := range out {
+			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(w, "sledlint: stale baseline entry (no such finding): %s: %s (%s)\n", e.File, e.Message, e.Analyzer)
+		}
+	}
+	if len(out) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+func baseDir(opts Options) string {
+	if opts.Dir != "" {
+		return opts.Dir
+	}
+	wd, _ := os.Getwd()
+	return wd
+}
+
+// renderable converts diagnostics to the sorted, repo-relative wire
+// form shared by every output shape.
+func renderable(fset *token.FileSet, all []analysis.Diagnostic, base string) []JSONDiagnostic {
 	out := make([]JSONDiagnostic, 0, len(all))
 	for _, d := range all {
 		p := fset.Position(d.Pos)
@@ -106,20 +238,5 @@ func Run(analyzers []*analysis.Analyzer, patterns []string, w io.Writer, opts Op
 		}
 		return a.Analyzer < b.Analyzer
 	})
-
-	if opts.JSON {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			return ExitError
-		}
-	} else {
-		for _, d := range out {
-			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
-		}
-	}
-	if len(out) > 0 {
-		return ExitFindings
-	}
-	return ExitClean
+	return out
 }

@@ -1,0 +1,269 @@
+package driver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sleds/internal/lint/analysis"
+	"sleds/internal/lint/driver"
+	"sleds/internal/lint/rngsource"
+	"sleds/internal/lint/simtime"
+)
+
+func runDirty(t *testing.T, opts driver.Options) (int, string) {
+	t.Helper()
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer, simtime.Analyzer},
+		[]string{"./testdata/src/dirty"}, &out, opts)
+	return code, out.String()
+}
+
+// TestSARIFOutput pins the structural subset of SARIF 2.1.0 that
+// code-scanning UIs require: schema/version header, a named tool with
+// rule metadata, and results carrying ruleId, message text, and
+// 1-based physical locations. (Offline structural check; the schema
+// URL itself is pinned as a constant string.)
+func TestSARIFOutput(t *testing.T) {
+	code, out := runDirty(t, driver.Options{SARIF: true})
+	if code != driver.ExitFindings {
+		t.Fatalf("exit = %d, want %d\n%s", code, driver.ExitFindings, out)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Fatalf("version %q schema %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sledlint" {
+		t.Fatalf("tool name %q", run.Tool.Driver.Name)
+	}
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	if !rules["rngsource"] || !rules["simtime"] {
+		t.Fatalf("rules missing analyzers: %v", rules)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if !rules[r.RuleID] {
+			t.Fatalf("result ruleId %q not declared in rules", r.RuleID)
+		}
+		if r.Level != "error" || r.Message.Text == "" {
+			t.Fatalf("incomplete result: %+v", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("%d locations", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if !strings.HasSuffix(loc.ArtifactLocation.URI, "dirty.go") {
+			t.Fatalf("uri %q", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine < 1 || loc.Region.StartColumn < 1 {
+			t.Fatalf("region not 1-based: %+v", loc.Region)
+		}
+	}
+}
+
+// TestBaselineRoundTrip drives the ratchet end to end: write the
+// baseline from a dirty tree, rerun clean against it, then shrink the
+// baseline and watch the uncovered findings resurface.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, out := runDirty(t, driver.Options{Baseline: base, WriteBaseline: true})
+	if code != driver.ExitClean || !strings.Contains(out, "wrote 3 finding(s)") {
+		t.Fatalf("write-baseline: exit %d, output %q", code, out)
+	}
+
+	code, out = runDirty(t, driver.Options{Baseline: base})
+	if code != driver.ExitClean || out != "" {
+		t.Fatalf("baselined run: exit %d, output %q", code, out)
+	}
+
+	// Drop the rngsource entries: those findings are regressions again.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf struct {
+		Version  int               `json:"version"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	var kept []json.RawMessage
+	for _, f := range bf.Findings {
+		if !strings.Contains(string(f), "rngsource") {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) == len(bf.Findings) {
+		t.Fatal("fixture: no rngsource entries to drop")
+	}
+	bf.Findings = kept
+	shrunk, err := json.Marshal(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, shrunk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out = runDirty(t, driver.Options{Baseline: base})
+	if code != driver.ExitFindings {
+		t.Fatalf("shrunk baseline: exit %d, output %q", code, out)
+	}
+	if !strings.Contains(out, "(rngsource)") || strings.Contains(out, "(simtime)") {
+		t.Fatalf("subtraction kept the wrong findings:\n%s", out)
+	}
+}
+
+// TestBaselineStaleEntriesWarnButPassClean: baseline lines nothing
+// matches are reported, never gating.
+func TestBaselineStaleEntries(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	code, out := runDirty(t, driver.Options{Baseline: base, WriteBaseline: true})
+	if code != driver.ExitClean {
+		t.Fatalf("write-baseline: exit %d, %q", code, out)
+	}
+	var buf bytes.Buffer
+	code = driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer, simtime.Analyzer},
+		[]string{"./testdata/src/clean"}, &buf, driver.Options{Baseline: base})
+	if code != driver.ExitClean {
+		t.Fatalf("clean tree with stale baseline: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "stale baseline entry") {
+		t.Fatalf("missing stale warnings:\n%s", buf.String())
+	}
+}
+
+func TestBaselineMissingFileExitsTwo(t *testing.T) {
+	code, out := runDirty(t, driver.Options{Baseline: filepath.Join(t.TempDir(), "absent.json")})
+	if code != driver.ExitError {
+		t.Fatalf("exit %d, want %d\n%s", code, driver.ExitError, out)
+	}
+}
+
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	code, out := runDirty(t, driver.Options{WriteBaseline: true})
+	if code != driver.ExitError || !strings.Contains(out, "-write-baseline requires") {
+		t.Fatalf("exit %d, output %q", code, out)
+	}
+}
+
+// TestDebtReport pins the directive inventory: the suppressed package
+// lints clean, and -debt lists the directive that made it so.
+func TestDebtReport(t *testing.T) {
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./testdata/src/debt"}, &out, driver.Options{})
+	if code != driver.ExitClean {
+		t.Fatalf("suppressed package not clean: exit %d\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code = driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./testdata/src/debt"}, &out, driver.Options{Debt: true, JSON: true})
+	if code != driver.ExitClean {
+		t.Fatalf("-debt exit %d", code)
+	}
+	var entries []driver.DebtEntry
+	if err := json.Unmarshal(out.Bytes(), &entries); err != nil {
+		t.Fatalf("debt JSON: %v\n%s", err, out.String())
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries, want 1:\n%s", len(entries), out.String())
+	}
+	e := entries[0]
+	if !strings.HasSuffix(e.File, "debt.go") || len(e.Analyzers) != 1 || e.Analyzers[0] != "rngsource" ||
+		!strings.Contains(e.Reason, "fixture") {
+		t.Fatalf("entry = %+v", e)
+	}
+
+	out.Reset()
+	code = driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./testdata/src/debt"}, &out, driver.Options{Debt: true})
+	if code != driver.ExitClean || !strings.Contains(out.String(), "sledlint: 1 allow directive(s)") {
+		t.Fatalf("text debt: exit %d\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code = driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./testdata/src/clean"}, &out, driver.Options{Debt: true, JSON: true})
+	if code != driver.ExitClean || strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("empty debt JSON: exit %d, %q", code, out.String())
+	}
+}
+
+// TestTestsMode: the violation in testy_test.go is invisible by
+// default and a finding under Options.Tests for analyzers that opt in.
+func TestTestsMode(t *testing.T) {
+	var out bytes.Buffer
+	code := driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./testdata/src/testy"}, &out, driver.Options{})
+	if code != driver.ExitClean {
+		t.Fatalf("default load saw test files: exit %d\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code = driver.Run(
+		[]*analysis.Analyzer{rngsource.Analyzer},
+		[]string{"./testdata/src/testy"}, &out, driver.Options{Tests: true})
+	if code != driver.ExitFindings {
+		t.Fatalf("-tests missed the helper violation: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "testy_test.go") || !strings.Contains(out.String(), "(rngsource)") {
+		t.Fatalf("wrong finding:\n%s", out.String())
+	}
+}

@@ -1,0 +1,14 @@
+// Package debt holds one deliberately suppressed violation so the
+// driver tests can pin the -debt report shape.
+package debt
+
+import "math/rand"
+
+// Sample draws from the global source under a reasoned directive: the
+// finding is muted, the directive is inventory.
+//
+//sledlint:allow rngsource -- fixture: the debt report test needs one reasoned entry
+func Sample() int64 {
+	rand.Seed(1)
+	return rand.Int63()
+}

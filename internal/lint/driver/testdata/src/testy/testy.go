@@ -1,0 +1,6 @@
+// Package testy is clean on its build files; the violation lives in
+// the _test.go file next door, visible only under -tests.
+package testy
+
+// Answer is deterministic; nothing in this file should fire.
+func Answer() int { return 42 }

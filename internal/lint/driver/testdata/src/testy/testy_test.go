@@ -1,0 +1,15 @@
+package testy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAnswer seeds the global source — the test-helper violation the
+// -tests mode exists to catch.
+func TestAnswer(t *testing.T) {
+	rand.Seed(7)
+	if Answer() != 42 {
+		t.Fatal("wrong answer")
+	}
+}

@@ -1,0 +1,12 @@
+package errflow
+
+import (
+	"testing"
+
+	"sleds/internal/lint/linttest"
+)
+
+func TestErrflow(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/errflow",
+		"sleds/internal/lint/errflow/testdata/src/errflow")
+}

@@ -1,0 +1,116 @@
+// The errflow golden: fallible-device errors must reach handling. The
+// acceptance case — a helper that drops a ReadErr error — is
+// swallowPath; crosspkg drops a transitively fallible call from
+// another package.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+
+	dep "sleds/internal/lint/errflow/testdata/src/errflowdep"
+)
+
+type device struct{ bad bool }
+
+func (d *device) ReadErr(off, n int64) error {
+	if d.bad {
+		return errors.New("EIO")
+	}
+	return nil
+}
+
+func (d *device) WriteErr(off, n int64) error { return nil }
+
+// swallowPath is the bug class PR 8 fixed by hand: the helper calls
+// the fallible device and drops the result on the floor.
+func swallowPath(d *device) {
+	d.ReadErr(0, 4096) // want `error from ReadErr is dropped`
+}
+
+// blankDrop discards explicitly but without a reasoned directive.
+func blankDrop(d *device) {
+	_ = d.WriteErr(0, 512) // want `error from WriteErr is discarded into _`
+}
+
+// neverChecked assigns the error and then forgets it: the only read
+// of err precedes the assignment, so nothing downstream can see it.
+func neverChecked(d *device) error {
+	var err error
+	if err != nil {
+		return err
+	}
+	err = d.ReadErr(0, 8) // want `error from ReadErr is assigned to err but never checked`
+	return nil
+}
+
+// goroutineDrop launches the fallible call where nobody can see the
+// error.
+func goroutineDrop(d *device) {
+	go d.ReadErr(0, 16) // want `error from ReadErr is discarded by go/defer`
+}
+
+// propagate returns the device error: this function becomes fallible
+// by fact, so dropCaller below is flagged one level up — the swallow
+// site moves with the helper.
+func propagate(d *device) error {
+	return d.ReadErr(0, 32)
+}
+
+// wrapped stays fallible through fmt.Errorf wrapping.
+func wrapped(d *device) error {
+	if err := d.ReadErr(0, 64); err != nil {
+		return fmt.Errorf("probe: %w", err)
+	}
+	return nil
+}
+
+func dropCaller(d *device) {
+	propagate(d) // want `error from propagate is dropped`
+	wrapped(d)   // want `error from wrapped is dropped`
+}
+
+// crosspkg drops a transitively fallible call from another package:
+// the fact crossed the import boundary.
+func crosspkg(d *dep.Dev) {
+	dep.Probe(d) // want `error from Probe is dropped`
+}
+
+// checked is the good path: guard and account.
+func checked(d *device) error {
+	if err := d.ReadErr(0, 128); err != nil {
+		return err
+	}
+	err := d.WriteErr(0, 128)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// named results carry the error out through a bare return.
+func namedResult(d *device) (err error) {
+	err = d.ReadErr(0, 256)
+	return
+}
+
+// consumedAsArg passes the error along — handled by the callee.
+func record(err error) {}
+
+func consumedAsArg(d *device) {
+	record(d.ReadErr(0, 512))
+}
+
+// allowedDrop documents a deliberate discard with the mandatory
+// reason.
+func allowedDrop(d *device) {
+	//sledlint:allow errflow -- best-effort prefetch, failure falls back to demand read
+	d.ReadErr(0, 1024)
+}
+
+// badDirective has no reason: the directive suppresses nothing and is
+// itself reported.
+func badDirective(d *device) {
+	//sledlint:allow errflow // want `malformed`
+	d.ReadErr(0, 2048) // want `error from ReadErr is dropped`
+}

@@ -1,0 +1,27 @@
+// Package errflowdep is a cross-package fixture for errflow: a
+// fallible device plus a helper that propagates its error, so the
+// isFallible fact must cross the package boundary for the main
+// testdata package's drops to be caught.
+package errflowdep
+
+import "errors"
+
+// Dev is a fallible device following the ReadErr/WriteErr convention.
+type Dev struct{ broken bool }
+
+// ReadErr models a device read that can fail.
+func (d *Dev) ReadErr(off, n int64) error {
+	if d.broken {
+		return errors.New("dep: EIO")
+	}
+	return nil
+}
+
+// Probe wraps ReadErr and returns its error: transitively fallible,
+// exported as a fact.
+func Probe(d *Dev) error {
+	if err := d.ReadErr(0, 512); err != nil {
+		return err
+	}
+	return d.ReadErr(512, 512)
+}

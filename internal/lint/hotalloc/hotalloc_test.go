@@ -1,0 +1,12 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"sleds/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/hotalloc",
+		"sleds/internal/lint/hotalloc/testdata/src/hotalloc")
+}

@@ -1,0 +1,165 @@
+// The hotalloc golden. The acceptance case — an unsized append in a
+// QueryAppend-alike hotpath — is badQuery; crosspkg reaches a map
+// allocation two frames and one package away.
+package hotalloc
+
+import (
+	"fmt"
+
+	dep "sleds/internal/lint/hotalloc/testdata/src/hotallocdep"
+)
+
+type rec struct {
+	key uint64
+	val uint64
+}
+
+// goodQuery is the QueryAppend shape the gates protect: append into
+// the caller's buffer, grow scratch only under a cap guard, emit
+// through a local-only closure, and build errors on the cold path.
+//
+//sledlint:hotpath
+func goodQuery(dst []rec, recs []rec, lo, hi uint64, scratch []uint64) ([]rec, error) {
+	if lo > hi {
+		return dst, fmt.Errorf("bad range [%d, %d)", lo, hi)
+	}
+	if cap(scratch) < len(recs) {
+		scratch = make([]uint64, 0, len(recs))
+	}
+	scratch = scratch[:0]
+	out := dst[:0]
+	emit := func(r rec) {
+		out = append(out, r)
+	}
+	for _, r := range recs {
+		if r.key >= lo && r.key < hi {
+			emit(r)
+			scratch = append(scratch, r.key)
+		}
+	}
+	_ = dep.Clean(uint64(len(scratch)))
+	return out, nil
+}
+
+// badQuery is the acceptance case: the result slice grows from zero on
+// every call instead of reusing caller-owned storage.
+//
+//sledlint:hotpath
+func badQuery(recs []rec, lo, hi uint64) []rec {
+	var out []rec
+	for _, r := range recs {
+		if r.key >= lo && r.key < hi {
+			out = append(out, r) // want `allocation in hotpath badQuery: append grows an unsized slice from zero each call`
+		}
+	}
+	return out
+}
+
+// unguardedMake allocates scratch unconditionally.
+//
+//sledlint:hotpath
+func unguardedMake(recs []rec) int {
+	scratch := make([]uint64, 0, len(recs)) // want `allocation in hotpath unguardedMake: make\(\[\]T\) on every call`
+	for _, r := range recs {
+		scratch = append(scratch, r.key)
+	}
+	return len(scratch)
+}
+
+// composites covers the literal and boxing families.
+//
+//sledlint:hotpath
+func composites(r rec) int {
+	m := map[uint64]int{r.key: 1} // want `allocation in hotpath composites: map literal allocates`
+	s := []uint64{r.key}          // want `allocation in hotpath composites: slice literal allocates`
+	p := &rec{key: r.key}         // want `allocation in hotpath composites: &composite literal escapes to the heap`
+	q := new(rec)                 // want `allocation in hotpath composites: new\(T\) allocates`
+	var sink interface{}
+	sink = r // want `allocation in hotpath composites: assignment boxes a value into an interface`
+	_ = sink
+	return len(m) + len(s) + int(p.key) + int(q.key)
+}
+
+// boxedArg passes a concrete value into an interface parameter.
+func consume(v interface{}) {}
+
+//sledlint:hotpath
+func boxedArg(r rec) {
+	consume(r.key) // want `allocation in hotpath boxedArg: argument boxes into an interface parameter`
+	consume(&r)    // pointer: no boxing allocation
+}
+
+// strings and goroutines.
+//
+//sledlint:hotpath
+func stringsAndGo(name string, b []byte) string {
+	s := name + string(b) // want `allocation in hotpath stringsAndGo: string concatenation allocates` `allocation in hotpath stringsAndGo: conversion to string copies and allocates`
+	go func() {}()        // want `allocation in hotpath stringsAndGo: goroutine launch allocates a stack`
+	return s
+}
+
+// escapingClosure hands a capturing closure to another function.
+func apply(f func() uint64) uint64 { return f() }
+
+//sledlint:hotpath
+func escapingClosure(x uint64) uint64 {
+	f := func() uint64 { return x } // want `allocation in hotpath escapingClosure: closure captures escape to the heap`
+	return apply(f)
+}
+
+// helper allocates; hotCaller reaches it transitively through clean.
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+func clean(n int) int {
+	return len(helper(n))
+}
+
+//sledlint:hotpath
+func hotCaller(n int) int {
+	return clean(n) // want `call in hotpath hotCaller reaches an allocation: clean allocates`
+}
+
+// crosspkg reaches dep.Leaky's map allocation across the package
+// boundary: the allocSummary fact made the trip.
+func viaDep(n int) int {
+	return dep.Leaky(n)
+}
+
+//sledlint:hotpath
+func crosspkg(n int) int {
+	return viaDep(n) // want `call in hotpath crosspkg reaches an allocation: viaDep allocates`
+}
+
+// allowedDep calls the helper whose allocation carries a reasoned
+// directive: the summary is empty, so the hot path stays clean.
+//
+//sledlint:hotpath
+func allowedDep(n int) int {
+	return len(dep.Allowed(n))
+}
+
+// nestedHot calls another hotpath function: checked under its own
+// annotation, not re-reported here.
+//
+//sledlint:hotpath
+func nestedHot(recs []rec) []rec {
+	return badQuery(recs, 1, 2)
+}
+
+// coldPath is not annotated: its allocations are summarized as facts
+// but never reported.
+func coldPath() map[string]int {
+	return map[string]int{"cold": 1}
+}
+
+// allowedSite carries a reasoned directive on its own allocation.
+//
+//sledlint:hotpath
+func allowedSite(n int) int {
+	//sledlint:allow hotalloc -- staged-probe bookkeeping, bounded at two entries per query
+	m := make(map[int]int, 2)
+	m[0] = n
+	return len(m)
+}

@@ -1,0 +1,27 @@
+// Package hotallocdep is a cross-package fixture for hotalloc: a
+// clean helper, an allocating helper, and an allowed one — so the
+// allocSummary facts must cross the import boundary for the main
+// testdata package's hot functions to see them.
+package hotallocdep
+
+// Clean is alloc-free: pure arithmetic.
+func Clean(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	return x ^ x>>33
+}
+
+// Leaky allocates a map on every call; a hot caller two frames away
+// must see this through the fact.
+func Leaky(n int) int {
+	m := make(map[int]int, n)
+	m[0] = n
+	return len(m)
+}
+
+// Allowed allocates too, but the site carries a reasoned directive, so
+// the summary is empty and hot callers stay clean.
+func Allowed(n int) []int {
+	//sledlint:allow hotalloc -- one-time setup table, called only from constructors
+	return make([]int, n)
+}

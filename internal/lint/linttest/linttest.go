@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"sleds/internal/lint/analysis"
+	"sleds/internal/lint/callgraph"
 	"sleds/internal/lint/load"
 )
 
@@ -31,6 +32,13 @@ var wantExprRe = regexp.MustCompile("`([^`]*)`")
 // analyzer plus the shared suppression pass, and checks the result
 // against the package's `// want` annotations. It returns the kept
 // diagnostics so callers can make extra assertions.
+//
+// Inter-procedural analyzers get the same substrate the driver
+// provides: the testdata package's module-local imports (which may be
+// other testdata packages, addressed by their real module paths) are
+// analyzed first in dependency order with diagnostics discarded, so
+// cross-package facts exist, and the whole closure shares one call
+// graph and fact store.
 func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) []analysis.Diagnostic {
 	t.Helper()
 	pkg, fset, err := load.Dir(dir, importPath)
@@ -38,18 +46,38 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) []analysis.
 		t.Fatalf("loading %s: %v", dir, err)
 	}
 
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		PkgPath:   importPath,
-		TypesInfo: pkg.Info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	facts := analysis.NewFactSet()
+	graph := callgraph.New()
+	closure := load.Closure([]*load.Package{pkg})
+	for _, p := range closure {
+		graph.AddPackage(p.Files, p.Info)
 	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+
+	var diags []analysis.Diagnostic
+	for _, p := range closure {
+		target := p == pkg
+		pass := &analysis.Pass{
+			Analyzer:     a,
+			Fset:         fset,
+			Files:        p.Files,
+			Pkg:          p.Types,
+			PkgPath:      p.Path,
+			TypesInfo:    p.Info,
+			Facts:        facts,
+			Graph:        graph,
+			Suppressions: analysis.CollectSuppressions(fset, p.Files),
+			Report:       func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if target {
+			pass.PkgPath = importPath
+		} else if !a.UsesFacts {
+			continue
+		} else {
+			pass.Report = func(analysis.Diagnostic) {}
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pass.PkgPath, err)
+		}
 	}
 	sup := analysis.CollectSuppressions(fset, pkg.Files)
 	kept := sup.Filter(fset, diags)

@@ -35,13 +35,40 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Imports lists the module-local packages this one imports,
+	// sorted by path. The driver walks it to assemble the dependency
+	// closure and analyze packages in topological order, which is what
+	// makes cross-package facts sound: a function's summary always
+	// exists before any caller in another package is checked.
+	Imports []*Package
+
+	// Test marks a package that includes _test.go files: either the
+	// in-package augmentation (same Path, test files merged in) or the
+	// external test package (Path carries a "_test" suffix). Test
+	// variants are never what other packages import — the importer
+	// cache keeps the pristine build for that.
+	Test bool
+}
+
+// Mode selects optional load behavior.
+type Mode struct {
+	// Tests also loads _test.go files (sledlint -tests): in-package
+	// test files are merged into their package's file list, and
+	// external test packages ("package foo_test") load as their own
+	// Package with the import path "<path>_test". The pristine
+	// non-test package still backs every import edge, so enabling
+	// tests never changes what dependent packages type-check against.
+	Tests bool
 }
 
 // listed mirrors the subset of `go list -json` output we consume.
 type listed struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
 }
 
 // Packages loads and type-checks the packages matching the go-list
@@ -49,8 +76,14 @@ type listed struct {
 // files are loaded: the determinism invariants are enforced on
 // simulator code, while test files are covered by the 1-vs-4-worker
 // determinism diffs (and testdata trees under lint packages hold
-// deliberate violations).
+// deliberate violations). PackagesMode with Mode.Tests set widens the
+// load to test files.
 func Packages(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	return PackagesMode(dir, Mode{}, patterns...)
+}
+
+// PackagesMode is Packages with explicit load options.
+func PackagesMode(dir string, mode Mode, patterns ...string) ([]*Package, *token.FileSet, error) {
 	if dir == "" {
 		wd, err := os.Getwd()
 		if err != nil {
@@ -82,17 +115,72 @@ func Packages(dir string, patterns ...string) ([]*Package, *token.FileSet, error
 			}
 			return nil, nil, fmt.Errorf("go list -json: %v", err)
 		}
-		if len(l.GoFiles) == 0 {
-			continue
+		if len(l.GoFiles) > 0 {
+			p, err := imp.loadDir(l.Dir, l.ImportPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			if mode.Tests && len(l.TestGoFiles) > 0 {
+				// Re-check the package with its in-package test files.
+				// The importer cache deliberately keeps the pristine
+				// build; the augmented variant exists only for analysis.
+				aug, err := imp.checkFiles(l.Dir, l.ImportPath, append(append([]string{}, l.GoFiles...), l.TestGoFiles...))
+				if err != nil {
+					return nil, nil, err
+				}
+				aug.Test = true
+				p = aug
+			}
+			pkgs = append(pkgs, p)
 		}
-		p, err := imp.loadDir(l.Dir, l.ImportPath)
-		if err != nil {
-			return nil, nil, err
+		if mode.Tests && len(l.XTestGoFiles) > 0 {
+			xp, err := imp.checkFiles(l.Dir, l.ImportPath+"_test", l.XTestGoFiles)
+			if err != nil {
+				return nil, nil, err
+			}
+			xp.Test = true
+			pkgs = append(pkgs, xp)
 		}
-		pkgs = append(pkgs, p)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, fset, nil
+}
+
+// Closure returns the module-local dependency closure of roots in
+// deterministic topological order: every package appears after all of
+// its Imports, with ties broken by import path. Analyzing packages in
+// this order is what makes cross-package facts sound — by the time a
+// package is checked, summaries for everything it calls exist.
+func Closure(roots []*Package) []*Package {
+	var out []*Package
+	state := make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return // Go forbids import cycles, so "visiting" can't recur
+		}
+		state[p] = 1
+		deps := append([]*Package(nil), p.Imports...)
+		sort.Slice(deps, func(i, j int) bool { return deps[i].Path < deps[j].Path })
+		for _, d := range deps {
+			visit(d)
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	sorted := append([]*Package(nil), roots...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Path != sorted[j].Path {
+			return sorted[i].Path < sorted[j].Path
+		}
+		// A pristine package sorts before its test-augmented twin, so
+		// facts exported on the build other packages import exist first.
+		return !sorted[i].Test && sorted[j].Test
+	})
+	for _, r := range sorted {
+		visit(r)
+	}
+	return out
 }
 
 // Dir loads a single directory as the given import path. The lint
@@ -197,7 +285,7 @@ func (im *moduleImporter) loadDir(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load %s: %v", path, err)
 	}
-	var files []*ast.File
+	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
@@ -205,14 +293,32 @@ func (im *moduleImporter) loadDir(dir, path string) (*Package, error) {
 			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
 			continue
 		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load %s: no Go files in %s", path, dir)
+	}
+	p, err := im.checkFiles(dir, path, names)
+	if err != nil {
+		return nil, err
+	}
+	im.cache[path] = p
+	return p, nil
+}
+
+// checkFiles parses and type-checks the named files of dir as one
+// package under the given import path, resolving its module-local
+// Imports through the importer cache. It does not cache the result:
+// loadDir owns the cache for pristine builds, while test-augmented
+// variants stay out of it.
+func (im *moduleImporter) checkFiles(dir, path string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
 		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %v", path, err)
 		}
 		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("load %s: no Go files in %s", path, dir)
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -226,6 +332,22 @@ func (im *moduleImporter) loadDir(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("typecheck %s: %v", path, err)
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	im.cache[path] = p
+
+	// Type-checking above resolved every module-local import through
+	// loadDir, so each one is in the cache now; link them.
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			ipath := strings.Trim(spec.Path.Value, `"`)
+			if seen[ipath] {
+				continue
+			}
+			seen[ipath] = true
+			if dep, ok := im.cache[ipath]; ok {
+				p.Imports = append(p.Imports, dep)
+			}
+		}
+	}
+	sort.Slice(p.Imports, func(i, j int) bool { return p.Imports[i].Path < p.Imports[j].Path })
 	return p, nil
 }

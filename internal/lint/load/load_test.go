@@ -50,6 +50,90 @@ func TestPackagesTypechecks(t *testing.T) {
 	}
 }
 
+// TestTestsMode pins the -tests load semantics: by default _test.go
+// files are invisible; under Mode.Tests the in-package test files are
+// merged into an augmented variant that replaces the pristine package
+// in the returned roots, and the external test package loads under a
+// "_test"-suffixed path — while import edges keep resolving against
+// the pristine build.
+func TestTestsMode(t *testing.T) {
+	const tinyPath = "sleds/internal/lint/load/testdata/src/tiny"
+
+	plain, _, err := Packages("", "./testdata/src/tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 || plain[0].Test {
+		t.Fatalf("default load: %d packages (Test=%v)", len(plain), len(plain) > 0 && plain[0].Test)
+	}
+	if plain[0].Types.Scope().Lookup("helperAnswer") != nil {
+		t.Fatal("default load leaked a test-only symbol")
+	}
+
+	pkgs, _, err := PackagesMode("", Mode{Tests: true}, "./testdata/src/tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("tests load: %d packages, want 2", len(pkgs))
+	}
+	aug, ext := pkgs[0], pkgs[1] // sorted by path: tiny before tiny_test
+	if aug.Path != tinyPath || !aug.Test {
+		t.Fatalf("pkgs[0] = %s (Test=%v)", aug.Path, aug.Test)
+	}
+	if aug.Types.Scope().Lookup("helperAnswer") == nil {
+		t.Fatal("augmented package lacks the in-package test symbol")
+	}
+	if ext.Path != tinyPath+"_test" || !ext.Test {
+		t.Fatalf("pkgs[1] = %s (Test=%v)", ext.Path, ext.Test)
+	}
+
+	// The external package imports tiny: that edge must be the
+	// pristine build, not the augmented one.
+	var pristine *Package
+	for _, d := range ext.Imports {
+		if d.Path == tinyPath {
+			pristine = d
+		}
+	}
+	if pristine == nil {
+		t.Fatal("external test package does not import tiny")
+	}
+	if pristine == aug || pristine.Test {
+		t.Fatal("import edge resolved to the augmented variant")
+	}
+	if pristine.Types.Scope().Lookup("helperAnswer") != nil {
+		t.Fatal("pristine import sees a test-only symbol")
+	}
+
+	// Closure ordering: deps strictly before dependents — the pristine
+	// build the external package imports must be analyzed (its facts
+	// exported) before the external package is checked. Deterministic
+	// across calls.
+	cl := Closure(pkgs)
+	idx := make(map[*Package]int, len(cl))
+	for i, p := range cl {
+		idx[p] = i
+	}
+	if len(cl) != 3 {
+		t.Fatalf("closure has %d packages, want 3", len(cl))
+	}
+	if idx[pristine] > idx[ext] {
+		t.Fatalf("closure order: pristine=%d after external=%d", idx[pristine], idx[ext])
+	}
+	for i := 0; i < 3; i++ {
+		again := Closure(pkgs)
+		if len(again) != len(cl) {
+			t.Fatalf("closure length changed: %d vs %d", len(again), len(cl))
+		}
+		for j := range cl {
+			if again[j] != cl[j] {
+				t.Fatalf("closure order differs at %d on repeat %d", j, i)
+			}
+		}
+	}
+}
+
 // TestDirSyntheticPath loads a directory under a caller-chosen import
 // path — the hook linttest uses to place testdata inside scoped trees.
 func TestDirSyntheticPath(t *testing.T) {

@@ -1,0 +1,15 @@
+package tiny_test
+
+import (
+	"testing"
+
+	"sleds/internal/lint/load/testdata/src/tiny"
+)
+
+// The external test package loads as its own "<path>_test" package
+// under the Tests mode, importing the pristine build.
+func TestAnswerExternal(t *testing.T) {
+	if tiny.Answer() != 42 {
+		t.Fatal("wrong answer")
+	}
+}

@@ -24,6 +24,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "rngsource",
 	Doc:  "forbid global math/rand functions and literal RNG seeds; derive *rand.Rand from the runner's seeds",
 	Run:  run,
+	// Test helpers share the reproducibility contract: a test that
+	// draws from the global source flakes across go versions.
+	Tests: true,
 }
 
 // globalFuncs are the math/rand (and math/rand/v2) top-level functions

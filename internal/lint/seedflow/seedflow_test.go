@@ -1,0 +1,12 @@
+package seedflow
+
+import (
+	"testing"
+
+	"sleds/internal/lint/linttest"
+)
+
+func TestSeedflow(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/seedflow",
+		"sleds/internal/lint/seedflow/testdata/src/seedflow")
+}

@@ -1,0 +1,134 @@
+// The seedflow golden: every way a seed can legitimately reach a
+// constructor, and the launderings that must be findings — including
+// the acceptance case of host entropy two calls away from the sink.
+package seedflow
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	dep "sleds/internal/lint/seedflow/testdata/src/seedflowdep"
+)
+
+const baseSeed = 42
+
+// hostEntropy is the classic non-reproducible seed.
+func hostEntropy() int64 {
+	return time.Now().UnixNano()
+}
+
+// launder hides the entropy behind one more call: a syntactic rule
+// cannot see through it, the dataflow facts can.
+func launder() int64 {
+	return hostEntropy()
+}
+
+func badTwoCallsAway() rand.Source {
+	return rand.NewSource(launder()) // want `seed for rand\.NewSource derives from host entropy \(time\.Now\)`
+}
+
+func badPid() *dep.Stream {
+	return dep.NewStream(uint64(os.Getpid())) // want `seed for seedflowdep\.NewStream derives from host entropy \(os\.Getpid\)`
+}
+
+// processState is mutated at runtime; reading it as a seed is not
+// derivable from any root.
+var processState uint64
+
+func bump() { processState++ }
+
+func badUntracked() *dep.Stream {
+	bump()
+	return dep.NewStream(processState + 1) // want `seed for seedflowdep\.NewStream does not derive from PointSeed`
+}
+
+func goodConstant() rand.Source {
+	return rand.NewSource(baseSeed)
+}
+
+func goodDerived(base int64) *dep.Stream {
+	return dep.NewStream(uint64(dep.Derive(base, 3)))
+}
+
+// goodIndirect consumes a seed derived through a helper in another
+// package: the isSeedSource fact crossed the package boundary.
+func goodIndirect(base int64) *dep.Stream {
+	return dep.NewStream(uint64(dep.Indirect(base, 7)))
+}
+
+// goodArithmetic: xor/mul chains over tracked values stay tracked —
+// the SplitMix64 idiom.
+func goodArithmetic(base int64) *dep.Stream {
+	s := uint64(dep.Derive(base, 0)) ^ 0xb5297a4d3f84d5a7
+	s *= 0x9e3779b97f4a7c15
+	return dep.NewStream(s)
+}
+
+// goodSinkParam: inside a function whose own parameter is a seed sink,
+// that parameter is trusted — its call sites are checked instead.
+func goodSinkParam(streamSeed uint64) *dep.Stream {
+	return dep.NewStream(streamSeed ^ 0x2545f4914f6cdd1d)
+}
+
+// localRoot is a package-local annotated entry point.
+//
+//sledlint:seed
+func localRoot() int64 {
+	return int64(processState) // exempt: roots begin derivation chains
+}
+
+func goodLocalRoot() rand.Source {
+	return rand.NewSource(localRoot())
+}
+
+// goodLoopIndex: a range index over a slice is a deterministic
+// coordinate; seeding from it is reproducible.
+func goodLoopIndex(names []string) []*dep.Stream {
+	var out []*dep.Stream
+	for i := range names {
+		out = append(out, dep.NewStream(uint64(i+1)))
+	}
+	return out
+}
+
+// badMapKey: map iteration order is not.
+func badMapKey(m map[uint64]string) *dep.Stream {
+	for k := range m {
+		return dep.NewStream(k) // want `seed for seedflowdep\.NewStream does not derive from PointSeed`
+	}
+	return nil
+}
+
+// closureSink: a func literal's seed param is a sink like any other —
+// trusted inside the body, checked at calls through the variable.
+func closureSink(base int64) *dep.Stream {
+	mk := func(label string, seed uint64) *dep.Stream {
+		return dep.NewStream(seed ^ 7)
+	}
+	good := mk("a", uint64(dep.Derive(base, 1)))
+	_ = mk("b", uint64(launder())) // want `seed for mk derives from host entropy \(time\.Now\)`
+	return good
+}
+
+// rootCaller: a //sledlint:seed function's own parameters are the
+// start of the chain, not sinks — feeding it anything is fine.
+//
+//sledlint:seed
+func rootMix(seed int64) int64 { return seed * 0x9e3779b9 }
+
+func rootCaller(raw int64) rand.Source {
+	return rand.NewSource(rootMix(raw))
+}
+
+// suppressed: a deliberate wall-clock seed with a reasoned directive.
+func allowedEntropy() rand.Source {
+	//sledlint:allow seedflow -- interactive demo binary, reproducibility not required
+	return rand.NewSource(launder())
+}
+
+// missing reason: the directive itself becomes the finding.
+func badDirective() rand.Source {
+	//sledlint:allow seedflow // want `malformed`
+	return rand.NewSource(launder()) // want `seed for rand\.NewSource derives from host entropy`
+}

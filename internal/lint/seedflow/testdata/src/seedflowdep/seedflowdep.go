@@ -1,0 +1,29 @@
+// Package seedflowdep is a cross-package fixture for seedflow: it
+// declares a seed root and a seed-consuming constructor that the main
+// testdata package calls, so the golden test exercises facts exported
+// across a package boundary.
+package seedflowdep
+
+// Derive mixes a base seed with coordinates — a stand-in for
+// experiments.PointSeed.
+//
+//sledlint:seed
+func Derive(base int64, idx int) int64 {
+	h := uint64(base) ^ 0x9e3779b97f4a7c15
+	h ^= uint64(uint32(idx))
+	h *= 0xbf58476d1ce4e5b9
+	return int64(h)
+}
+
+// Indirect derives through the root: the fixpoint proves its result is
+// a derived seed and exports the fact.
+func Indirect(base int64, idx int) int64 {
+	return Derive(base, idx) ^ 0x2545f4914f6cdd1d
+}
+
+// Stream is a seeded splitmix64 stream.
+type Stream struct{ state uint64 }
+
+// NewStream's parameter is a seed sink by name: callers in any package
+// must pass a derived seed.
+func NewStream(seed uint64) *Stream { return &Stream{state: seed} }

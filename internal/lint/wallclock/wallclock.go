@@ -23,6 +23,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc:  "forbid wall-clock time (time.Now, Sleep, timers) in simulated code; use simclock virtual time",
 	Run:  run,
+	// Tests must hold virtual time too: a time.Sleep in a helper is
+	// exactly the flake the simulator exists to rule out.
+	Tests: true,
 }
 
 // forbidden lists the time-package functions that observe or schedule

@@ -173,6 +173,9 @@ func (p *Picker) Remaining() int {
 
 // NextRead returns the next advised read location and size
 // (sleds_pick_next_read). io.EOF-style: ErrFinished when exhausted.
+// Called once per read in every driver loop: pinned allocation-free.
+//
+//sledlint:hotpath
 func (p *Picker) NextRead() (off, n int64, err error) {
 	if p.finished || p.next >= len(p.chunks) {
 		return 0, 0, ErrFinished

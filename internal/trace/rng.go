@@ -17,6 +17,8 @@ type RNG struct {
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
 // Uint64 advances the stream and returns a well-mixed 64-bit value.
+//
+//sledlint:hotpath
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
@@ -26,6 +28,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Int64n returns a uniform value in [0, n). n must be positive.
+//
+//sledlint:hotpath
 func (r *RNG) Int64n(n int64) int64 {
 	if n <= 0 {
 		panic("trace: Int64n with non-positive bound")
@@ -34,12 +38,16 @@ func (r *RNG) Int64n(n int64) int64 {
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+//
+//sledlint:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Exp returns an exponentially distributed value with the given mean
 // (inverse-CDF on the stream's next uniform draw).
+//
+//sledlint:hotpath
 func (r *RNG) Exp(mean float64) float64 {
 	u := r.Float64()
 	// 1-u is in (0, 1], so the log is finite.
@@ -76,7 +84,10 @@ func NewZipf(n int, s float64) *Zipf {
 // Ranks returns the number of ranks the sampler covers.
 func (z *Zipf) Ranks() int { return len(z.cum) }
 
-// Sample draws one rank from the stream.
+// Sample draws one rank from the stream. One binary search, zero
+// allocations — the property the generator benchmarks pin.
+//
+//sledlint:hotpath
 func (z *Zipf) Sample(r *RNG) int {
 	u := r.Float64()
 	// Binary search for the first rank with cum >= u.

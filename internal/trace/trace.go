@@ -195,11 +195,15 @@ func (t *Trace) Index() *StreamIndex {
 
 // Streams returns the indexed stream IDs in ascending order. The caller
 // must not modify the returned slice.
+//
+//sledlint:hotpath
 func (x *StreamIndex) Streams() []int { return x.ids }
 
 // Records returns the record indices of the i-th indexed stream (the
 // stream at Streams()[i]), in trace order. The caller must not modify the
 // returned slice.
+//
+//sledlint:hotpath
 func (x *StreamIndex) Records(i int) []int { return x.recs[i] }
 
 // Merge combines validated traces into one: file tables concatenate (each
