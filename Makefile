@@ -59,27 +59,27 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace ./internal/fleet
 
-# bench-json regenerates BENCH_8.json, the committed snapshot of the
+# bench-json regenerates BENCH_10.json, the committed snapshot of the
 # query/cache/iosched/trace/fleet microbenchmarks and the root figure
 # benchmarks, as a JSON map of benchmark name to ns/op, B/op, allocs/op
 # and ReportMetric figures. Timings vary by machine; the snapshot exists
 # to pin the alloc counts (which bench-compare gates) and record the
 # measured speedups at authoring time. Run it on a bench-suite change
-# and commit the result. BENCH_5.json through BENCH_7.json are the
-# frozen PR-5/PR-6/PR-7 snapshots; leave them be.
+# and commit the result. BENCH_5.json through BENCH_8.json are the
+# frozen PR-5..PR-8 snapshots; leave them be.
 bench-json:
 	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace ./internal/fleet; \
-	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson > BENCH_8.json
-	@echo "bench-json: wrote BENCH_8.json"
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson > BENCH_10.json
+	@echo "bench-json: wrote BENCH_10.json"
 
 # bench-compare reruns the bench-json suite and gates it against the
-# committed BENCH_8.json snapshot: every benchmark in the snapshot must
+# committed BENCH_10.json snapshot: every benchmark in the snapshot must
 # still exist, and allocs/op may not grow more than 25%. Only alloc
 # counts are gated — they are deterministic for these workloads, while
 # ns/op on shared CI runners is noise.
 bench-compare:
 	{ $(GO) test -bench=. -benchmem -run='^$$' ./internal/core ./internal/cache ./internal/iosched ./internal/trace ./internal/fleet; \
-	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson -compare BENCH_8.json -tolerance 0.25
+	  $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .; } | $(GO) run ./cmd/benchjson -compare BENCH_10.json -tolerance 0.25
 
 # scale-smoke proves the event-heap engine at full width: the escale
 # experiment (up to 10,000 streams over 24 queued disks, fcfs and sstf)
@@ -110,6 +110,10 @@ determinism:
 	$(GO) run ./cmd/sledsbench -scale quick -exp efaults -runs 2 -faults heavy -workers 4 > /tmp/sledsbench-faults-w4.txt
 	diff /tmp/sledsbench-faults-w1.txt /tmp/sledsbench-faults-w4.txt
 	@echo "deterministic: fault injection is byte-identical at 1 and 4 workers"
+	$(GO) run ./cmd/sledsbench -scale quick -exp etrace,efleet -sledmemo on > /tmp/sledsbench-memo-on.txt
+	$(GO) run ./cmd/sledsbench -scale quick -exp etrace,efleet -sledmemo off > /tmp/sledsbench-memo-off.txt
+	diff /tmp/sledsbench-memo-on.txt /tmp/sledsbench-memo-off.txt
+	@echo "deterministic: etrace and efleet are byte-identical with the SLED skeleton memo on and off"
 
 # trace-smoke drives the trace subsystem end to end: sledstrace
 # generates a trace, validates its own output, and the etrace experiment

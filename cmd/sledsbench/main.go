@@ -97,6 +97,7 @@ func main() {
 	faultsProfile := flag.String("faults", "off", "deterministic fault-injection profile applied to every device of every machine: off | light | heavy")
 	classesFlag := flag.String("classes", "", "comma-separated workload classes for the etrace experiment (empty = all): "+strings.Join(trace.Classes(), ","))
 	fleetFlag := flag.Int("fleet", 0, "replica count for the efleet experiment (0 = default 4)")
+	sledMemo := flag.String("sledmemo", "on", "sleds-table skeleton memo on every booted machine: on | off | <files> (a positive LRU capacity); output is byte-identical at any setting")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv for external plotting")
 	list := flag.Bool("list", false, "print the valid experiment ids, one per line, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a host-side CPU profile of the regeneration to this file (pprof)")
@@ -117,6 +118,10 @@ func main() {
 		for _, c := range trace.Classes() {
 			fmt.Println("class:" + c)
 		}
+		// -sledmemo forms, same prefix convention.
+		fmt.Println("sledmemo:on")
+		fmt.Println("sledmemo:off")
+		fmt.Println("sledmemo:<files>")
 		return
 	}
 
@@ -150,6 +155,11 @@ func main() {
 	if *faultsProfile != "off" {
 		cfg.FaultProfile = *faultsProfile
 	}
+	if _, err := experiments.ParseSLEDMemo(*sledMemo); err != nil {
+		fmt.Fprintf(os.Stderr, "sledsbench: -sledmemo %q: valid values are on, off, or a positive file capacity\n", *sledMemo)
+		exit(2)
+	}
+	cfg.SLEDMemo = *sledMemo
 	// -classes is validated up front like -exp and -faults: an unknown
 	// workload class is exit 2 with the valid names, not an empty run.
 	knownClasses := map[string]bool{}

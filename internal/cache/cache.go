@@ -181,6 +181,15 @@ type Cache struct {
 
 	// files is the per-file residency index, kept in lockstep with index.
 	files map[uint64]*fileIdx
+	// epochs is the per-file residency epoch: bumped on every splice of a
+	// file's run vector (a fresh page inserted, a resident page evicted or
+	// invalidated). Dirty-bit changes (MarkDirty, Flush*) do not splice
+	// runs and do not bump. Entries outlive the file's fileIdx — the
+	// epoch is monotone for the lifetime of the cache, never reset when
+	// the last frame leaves — so FSLEDS_GET can memoize residency
+	// skeletons against it without ever seeing an epoch value repeat with
+	// different residency behind it.
+	epochs map[uint64]uint64
 	// tick stamps every move-to-front/insertion so that a file's frames
 	// can be replayed in list order (descending stamp) without scanning
 	// the list.
@@ -206,6 +215,7 @@ func New(capacity int, policy Policy, onEvict EvictFn) *Cache {
 		order:    list.New(),
 		index:    make(map[Key]*list.Element, capacity),
 		files:    make(map[uint64]*fileIdx),
+		epochs:   make(map[uint64]uint64),
 	}
 }
 
@@ -286,6 +296,7 @@ func (c *Cache) unindex(f *frame) {
 		return
 	}
 	fi.remove(f.key.Page)
+	c.epochs[f.key.File]++
 	if f.dirty {
 		fi.dirty--
 	}
@@ -325,6 +336,7 @@ func (c *Cache) Insert(k Key, data []byte, dirty bool) error {
 	c.index[k] = e
 	fi := c.fileOf(k.File)
 	fi.insert(k.Page)
+	c.epochs[k.File]++
 	if dirty {
 		fi.dirty++
 	}
@@ -504,6 +516,16 @@ func (c *Cache) ResidentRuns(file uint64) []Run {
 		return nil
 	}
 	return fi.runs
+}
+
+// ResidencyEpoch returns the file's residency epoch: a counter that
+// advances on every change to the file's resident-run vector and never
+// moves backward or resets. Two calls returning the same value bracket a
+// window in which ResidentRuns was unchanged — the invalidation signal
+// core's skeleton memo keys on. Re-inserting a resident page (which only
+// refreshes recency or the dirty bit) does not advance it.
+func (c *Cache) ResidencyEpoch(file uint64) uint64 {
+	return c.epochs[file]
 }
 
 // DirtyPages reports how many of the file's resident pages are dirty.

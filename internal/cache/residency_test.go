@@ -320,3 +320,77 @@ func BenchmarkFlushFileNoop(b *testing.B) {
 		c.FlushFile(7, nil)
 	}
 }
+
+// TestResidencyEpoch pins the epoch contract the core skeleton memo
+// depends on: the counter advances exactly when the file's run vector is
+// spliced — fresh insert, eviction, invalidation — never on recency or
+// dirty-bit activity, and it survives (monotone) the file's last frame
+// leaving the cache.
+func TestResidencyEpoch(t *testing.T) {
+	c := New(4, LRU, nil)
+	if got := c.ResidencyEpoch(1); got != 0 {
+		t.Fatalf("unseen file epoch = %d, want 0", got)
+	}
+
+	mustBump := func(what string, want bool, op func()) {
+		t.Helper()
+		before := c.ResidencyEpoch(1)
+		op()
+		after := c.ResidencyEpoch(1)
+		if want && after <= before {
+			t.Fatalf("%s did not advance the epoch (%d -> %d)", what, before, after)
+		}
+		if !want && after != before {
+			t.Fatalf("%s advanced the epoch (%d -> %d), want unchanged", what, before, after)
+		}
+	}
+
+	mustBump("fresh insert", true, func() { c.Insert(Key{File: 1, Page: 0}, nil, false) })
+	mustBump("re-insert of a resident page", false, func() { c.Insert(Key{File: 1, Page: 0}, nil, true) })
+	mustBump("Get", false, func() { c.Get(Key{File: 1, Page: 0}) })
+	mustBump("MarkDirty", false, func() { c.MarkDirty(Key{File: 1, Page: 0}) })
+	mustBump("FlushFile", false, func() { c.FlushFile(1, nil) })
+	mustBump("FlushDirty", false, func() { c.FlushDirty(nil) })
+	mustBump("Invalidate of a non-resident page", false, func() { c.Invalidate(Key{File: 1, Page: 9}) })
+	mustBump("Invalidate", true, func() { c.Invalidate(Key{File: 1, Page: 0}) })
+
+	// Other files' activity is invisible.
+	mustBump("another file's insert", false, func() { c.Insert(Key{File: 2, Page: 0}, nil, false) })
+
+	// Eviction pressure bumps the victim's epoch.
+	c.Insert(Key{File: 1, Page: 3}, nil, false)
+	lo := c.ResidencyEpoch(1)
+	for p := int64(0); p < 4; p++ {
+		c.Insert(Key{File: 3, Page: p}, nil, false) // evicts everything else
+	}
+	if got := c.ResidencyEpoch(1); got <= lo {
+		t.Fatalf("eviction did not advance the epoch (%d -> %d)", lo, got)
+	}
+
+	// The epoch is monotone across total eviction: file 1 has no frames
+	// (no fileIdx) yet its epoch must not reset.
+	if len(c.ResidentRuns(1)) != 0 {
+		t.Fatal("file 1 should be fully evicted")
+	}
+	hi := c.ResidencyEpoch(1)
+	if hi == 0 {
+		t.Fatal("epoch reset after the file's last frame left")
+	}
+	mustBump("InvalidateFile of an absent file", false, func() { c.InvalidateFile(1) })
+}
+
+// TestResidencyEpochInvalidateFile checks the file-scoped invalidation
+// advances the epoch once per spliced page (any advance suffices for
+// correctness; the count documents the per-splice contract).
+func TestResidencyEpochInvalidateFile(t *testing.T) {
+	c := New(8, LRU, nil)
+	for p := int64(0); p < 5; p++ {
+		c.Insert(Key{File: 7, Page: p}, nil, p%2 == 0)
+	}
+	before := c.ResidencyEpoch(7)
+	c.InvalidateFile(7)
+	after := c.ResidencyEpoch(7)
+	if after != before+5 {
+		t.Fatalf("InvalidateFile spliced 5 pages but epoch moved %d -> %d", before, after)
+	}
+}

@@ -36,23 +36,31 @@ func equivMachine(t testing.TB, cachePages int, pol cache.Policy) (*vfs.Kernel, 
 	return k, disk, tab
 }
 
-// mustMatchRef asserts Query and the per-page reference produce
-// byte-identical SLED vectors (or identical errors) for the inode.
+// mustMatchRef asserts Query (memoized by default), the direct walk and
+// the per-page reference produce byte-identical SLED vectors (or
+// identical errors) for the inode. Calling all three back to back at one
+// virtual instant is exact: the lazy health decay is idempotent at a
+// fixed now, so the first call brings the penalty current and the others
+// observe the same bits.
 func mustMatchRef(t *testing.T, k *vfs.Kernel, tab *Table, n *vfs.Inode) []SLED {
 	t.Helper()
 	got, gotErr := Query(k, tab, n)
+	direct, directErr := queryDirect(nil, k, tab, n)
 	want, wantErr := queryRef(k, tab, n)
-	if (gotErr == nil) != (wantErr == nil) {
-		t.Fatalf("error divergence: new=%v ref=%v", gotErr, wantErr)
+	if (gotErr == nil) != (wantErr == nil) || (directErr == nil) != (wantErr == nil) {
+		t.Fatalf("error divergence: new=%v direct=%v ref=%v", gotErr, directErr, wantErr)
 	}
 	if gotErr != nil {
-		if gotErr.Error() != wantErr.Error() {
-			t.Fatalf("error text divergence:\nnew: %v\nref: %v", gotErr, wantErr)
+		if gotErr.Error() != wantErr.Error() || directErr.Error() != wantErr.Error() {
+			t.Fatalf("error text divergence:\nnew: %v\ndirect: %v\nref: %v", gotErr, directErr, wantErr)
 		}
 		return nil
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("SLED vector divergence:\nnew: %v\nref: %v", got, want)
+	}
+	if !reflect.DeepEqual(direct, want) {
+		t.Fatalf("SLED vector divergence:\ndirect: %v\nref: %v", direct, want)
 	}
 	if err := Validate(got, n.Size()); err != nil {
 		t.Fatal(err)

@@ -117,6 +117,17 @@ type Table struct {
 
 	health   map[device.ID]*health
 	halfLife simclock.Duration
+
+	// cfgEpoch advances on every mutation that can change which entry a
+	// file offset maps to or whether load is folded in at all (SetMemory,
+	// SetDevice, SetDeviceZones, SetLoad). Mutations the per-query device
+	// sample already absorbs — fault observations, health decay and
+	// resets, half-life changes, load *values* behind an attached source —
+	// deliberately do not bump it; see the memo's overlay.
+	cfgEpoch uint64
+	// memo caches residency skeletons per (kernel, inode); nil when
+	// memoization is disabled (SetMemoCapacity(0)).
+	memo *sledMemo
 }
 
 // health is the per-device degradation state the fault observer feeds.
@@ -135,14 +146,46 @@ type health struct {
 // recovered device wins traffic back.
 const DefaultHealthHalfLife = 60 * simclock.Second
 
-// NewTable returns an empty table.
+// NewTable returns an empty table with skeleton memoization enabled at
+// DefaultMemoFiles capacity.
 func NewTable() *Table {
 	return &Table{
 		devs:     make(map[device.ID]Entry),
 		zones:    make(map[device.ID][]ZoneEntry),
 		health:   make(map[device.ID]*health),
 		halfLife: DefaultHealthHalfLife,
+		memo:     newSledMemo(DefaultMemoFiles),
 	}
+}
+
+// SetMemoCapacity bounds the skeleton memo at n files (LRU over files),
+// dropping any cached skeletons; n <= 0 disables memoization entirely,
+// restoring the direct walk for every query. Query results are
+// bit-identical at every setting — the knob exists for ablation and for
+// capping memory on machines querying very many files.
+func (t *Table) SetMemoCapacity(n int) {
+	if n <= 0 {
+		t.memo = nil
+		return
+	}
+	t.memo = newSledMemo(n)
+}
+
+// MemoCapacity reports the skeleton memo's file capacity (0 = disabled).
+func (t *Table) MemoCapacity() int {
+	if t.memo == nil {
+		return 0
+	}
+	return t.memo.cap
+}
+
+// MemoStats returns a copy of the skeleton memo's activity counters
+// (zeroes when memoization is disabled).
+func (t *Table) MemoStats() MemoStats {
+	if t.memo == nil {
+		return MemoStats{}
+	}
+	return t.memo.stats
 }
 
 // SetHealthHalfLife overrides the fault-penalty decay half-life; hl <= 0
@@ -248,6 +291,7 @@ func (t *Table) SetMemory(e Entry) error {
 	}
 	t.mem = e
 	t.haveMem = true
+	t.cfgEpoch++
 	return nil
 }
 
@@ -261,6 +305,7 @@ func (t *Table) SetDevice(id device.ID, e Entry) error {
 	}
 	t.devs[id] = e
 	delete(t.zones, id)
+	t.cfgEpoch++
 	return nil
 }
 
@@ -287,6 +332,7 @@ func (t *Table) SetDeviceZones(id device.ID, zs []ZoneEntry) error {
 	// Keep a representative single-zone entry too (first zone), so code
 	// that does not understand zones still works.
 	t.devs[id] = zs[0].Entry
+	t.cfgEpoch++
 	return nil
 }
 
@@ -298,8 +344,13 @@ func (t *Table) Device(id device.ID) (Entry, bool) {
 
 // SetLoad attaches a live queueing-state source. Subsequent queries fold
 // the device's current queue depth and in-flight service time into the
-// latency estimates; nil detaches.
-func (t *Table) SetLoad(l Load) { t.load = l }
+// latency estimates; nil detaches. Attaching/detaching bumps the config
+// epoch (the skeleton memo's sample shape changes); the *values* the
+// source reports are re-sampled on every query and need no epoch.
+func (t *Table) SetLoad(l Load) {
+	t.load = l
+	t.cfgEpoch++
+}
 
 // underLoad inflates a device entry by its current queueing state at
 // virtual time now: the first byte cannot arrive before the in-flight
@@ -458,11 +509,34 @@ func Query(k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 // allocating per query. The result is valid until the next QueryAppend
 // reusing the same scratch.
 //
+// When the table's skeleton memo is enabled (the default), repeat queries
+// for a file whose residency and table config are unchanged skip the
+// residency walk entirely and replay the cached skeleton through the
+// dynamic overlay — O(devices + runs) with no index re-walk, bit-identical
+// to the direct walk (the differential property suite pins this). Staged
+// (HSM) devices and directories always take the direct walk: a stager
+// scatters pages across levels per its own migration state, which no
+// epoch covers.
+//
 // The steady-state path is allocation-free (BenchmarkQueryAppend pins
 // allocs/op at zero); hotalloc enforces the same statically.
 //
 //sledlint:hotpath
 func QueryAppend(dst []SLED, k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
+	if t.memo == nil || n.IsDir() || k.DeviceStaged(n.Device()) {
+		return queryDirect(dst, k, t, n)
+	}
+	return t.memo.query(dst, k, t, n)
+}
+
+// queryDirect is the full FSLEDS_GET walk over the residency index — the
+// memo-free implementation QueryAppend dispatches to for staged devices,
+// directories, and disabled memoization, and the oracle the memoized path
+// is property-tested bit-identical against (next to queryRef, the
+// original per-page scan).
+//
+//sledlint:hotpath
+func queryDirect(dst []SLED, k *vfs.Kernel, t *Table, n *vfs.Inode) ([]SLED, error) {
 	if n.IsDir() {
 		return nil, fmt.Errorf("core: %q is a directory", n.Name())
 	}

@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"fmt"
 	"testing"
 
 	"sleds/internal/iosched"
 	"sleds/internal/simclock"
+	"sleds/internal/vfs"
 )
 
 // BenchmarkSelect measures the hot selector path: four QueryAppend-based
@@ -12,6 +14,86 @@ import (
 // per-read client-side overhead of SLED-guided routing.
 func BenchmarkSelect(b *testing.B) {
 	fx := newFleet(b, DefaultConfig(), 64*testPage)
+	now := fx.k.Clock.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.f.Select(0, 4*testPage, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectColdMemo is BenchmarkSelect with the sleds table's
+// skeleton memo disabled: every replica estimate re-walks residency from
+// scratch. The gap between the two is the memo's contribution to pick
+// latency.
+func BenchmarkSelectColdMemo(b *testing.B) {
+	fx := newFleet(b, DefaultConfig(), 64*testPage)
+	fx.tab.SetMemoCapacity(0)
+	now := fx.k.Clock.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.f.Select(0, 4*testPage, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fragmentReplicas shatters every replica file's client-cache residency
+// into single-page runs: strided one-page reads, interleaved across
+// replicas so the shared LRU keeps an even mix. Selection estimates then
+// walk dozens of run/gap transitions per replica — the workload the
+// skeleton memo exists for.
+func fragmentReplicas(b *testing.B, fx *fixture, fileSize int64) {
+	b.Helper()
+	files := make([]*vfs.File, fx.f.Replicas())
+	for i := range files {
+		f, err := fx.k.Open(fmt.Sprintf("/data.r%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		files[i] = f
+	}
+	buf := make([]byte, testPage)
+	for off := int64(0); off < fileSize; off += 4 * testPage {
+		for _, f := range files {
+			if _, err := f.ReadAtMapped(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, f := range files {
+		f.Close()
+	}
+}
+
+// BenchmarkSelectFragmented is Select against replicas whose client-side
+// residency is shattered into single-page runs (the post-churn steady
+// state of a live fleet). Warm memo: every pick fast-copies three cached
+// skeletons. Compare BenchmarkSelectFragmentedColdMemo.
+func BenchmarkSelectFragmented(b *testing.B) {
+	const fileSize = 256 * testPage
+	fx := newFleet(b, DefaultConfig(), fileSize)
+	fragmentReplicas(b, fx, fileSize)
+	now := fx.k.Clock.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.f.Select(0, 4*testPage, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectFragmentedColdMemo re-derives every replica's run/gap
+// decomposition on each pick (memo disabled).
+func BenchmarkSelectFragmentedColdMemo(b *testing.B) {
+	const fileSize = 256 * testPage
+	fx := newFleet(b, DefaultConfig(), fileSize)
+	fx.tab.SetMemoCapacity(0)
+	fragmentReplicas(b, fx, fileSize)
 	now := fx.k.Clock.Now()
 	b.ReportAllocs()
 	b.ResetTimer()

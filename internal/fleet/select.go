@@ -51,6 +51,11 @@ type Selection struct {
 // device's unloaded service latency down to the wire RTT. Queue wait,
 // health penalty, and transfer time are unaffected — a cached byte still
 // waits in the same queue and crosses the same wire.
+//
+// The per-pick QueryAppend is served by the table's skeleton memo when
+// the replica's residency and the table config are unchanged (the common
+// case between faults): only the O(devices) dynamic overlay re-runs, so
+// estimating all replicas stays cheap even on heavily fragmented files.
 func (f *Fleet) estimateReplica(r *Replica, off, n int64, now simclock.Duration) (estimate, error) {
 	sleds, err := core.QueryAppend(f.scratch, f.k, f.tab, r.inode)
 	if err != nil {

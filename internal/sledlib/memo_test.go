@@ -1,0 +1,53 @@
+package sledlib
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPickerMemoEquivalence runs the same pick-refresh-pick sequence on
+// two identical machines — skeleton memo at default capacity vs disabled
+// — and demands identical chunk schedules. The picker's Refresh is the
+// library call the memo makes cheap (see the Refresh doc), so it must
+// also be the call the memo cannot be allowed to change.
+func TestPickerMemoEquivalence(t *testing.T) {
+	type step struct {
+		chunks []chunk
+		sleds  int
+	}
+	run := func(memo bool) []step {
+		m := newMachine(t, 64)
+		if !memo {
+			m.tab.SetMemoCapacity(0)
+		}
+		f := m.textFile(t, "/d/f", 3, 48*testPage)
+		defer f.Close()
+		warmTail(t, f, 32)
+		var steps []step
+		p, err := PickInit(m.k, m.tab, f, Options{BufSize: 4 * testPage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			off, n, err := p.NextRead()
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps = append(steps, step{chunks: []chunk{{off: off, n: n}}, sleds: len(p.SLEDs())})
+			// Touch a cold region so residency splices between refreshes.
+			buf := make([]byte, testPage)
+			if _, err := f.ReadAt(buf, int64(i)*5*testPage); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		steps = append(steps, step{chunks: collect(t, p)})
+		return steps
+	}
+	on, off := run(true), run(false)
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("picker schedules diverge with the memo enabled:\nmemo:   %+v\ndirect: %+v", on, off)
+	}
+}

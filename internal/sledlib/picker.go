@@ -197,6 +197,11 @@ func (p *Picker) Finish() { p.finished = true }
 //
 // Already-returned chunks are unaffected: the exactly-once guarantee
 // holds across refreshes.
+//
+// Refreshing is cheap enough to do on every pick: when residency and
+// table config are unchanged since the last query, the table's skeleton
+// memo (see internal/core/memo.go) answers the re-query from its cached
+// decomposition instead of re-walking the page cache.
 func (p *Picker) Refresh() error {
 	if p.finished || p.next >= len(p.chunks) {
 		return nil

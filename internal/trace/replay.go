@@ -254,6 +254,9 @@ func (s *streamReplay) formBatch() {
 // the batch cheapest-first by estimated delivery time, trace order among
 // equals. One query per distinct file per batch: the estimates are
 // sampled once at the gate instant, like a real application would.
+// Successive gathers over the same file hit the table's skeleton memo
+// whenever residency was not spliced between batches, so the per-batch
+// query cost is the O(devices) overlay, not a residency re-walk.
 func (s *streamReplay) orderBatch() {
 	for fi := range s.r.files {
 		touched := false

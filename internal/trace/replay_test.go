@@ -16,7 +16,7 @@ import (
 // replayMachine boots a calibrated kernel with the paper's Table 2 memory
 // and disk, mirroring experiments.BootMachine without importing it (that
 // package imports this one).
-func replayMachine(t *testing.T, cachePages int) (*vfs.Kernel, *core.Table, device.ID) {
+func replayMachine(t testing.TB, cachePages int) (*vfs.Kernel, *core.Table, device.ID) {
 	t.Helper()
 	mem := device.NewMem(device.Table2MemConfig(0))
 	k := vfs.NewKernel(vfs.Config{PageSize: 4096, CachePages: cachePages, MemDevice: mem})

@@ -236,6 +236,14 @@ func (k *Kernel) ResidentRuns(n *Inode) []cache.Run {
 	return k.cache.ResidentRuns(uint64(n.ino))
 }
 
+// ResidencyEpoch returns the inode's residency epoch: a monotone counter
+// the cache advances on every splice of the file's resident-run vector.
+// Equal values from two calls guarantee ResidentRuns did not change in
+// between — the invalidation signal core's skeleton memo keys on.
+func (k *Kernel) ResidencyEpoch(n *Inode) uint64 {
+	return k.cache.ResidencyEpoch(uint64(n.ino))
+}
+
 // DeviceStaged reports whether reads from the device are interposed by a
 // stager (HSM or remote mount), i.e. whether DeviceForPage may differ
 // from the inode's own device for files living on it.
